@@ -1,0 +1,182 @@
+//! Criterion benches, one group per paper table/figure. Each group runs a
+//! reduced-scale version of the corresponding experiment pipeline (the
+//! full-scale numbers come from the `figNN_*` binaries); Criterion tracks
+//! the simulator's throughput on that experiment so regressions in the
+//! substrate show up immediately.
+
+use bfetch_core::BFetchConfig;
+use bfetch_sim::analysis::delta_cdfs;
+use bfetch_sim::{run_multi, run_single, PrefetcherKind, SimConfig};
+use bfetch_workloads::{kernel_by_name, select_mixes, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const INSTS: u64 = 15_000;
+
+fn quick_cfg(kind: PrefetcherKind) -> SimConfig {
+    let mut c = SimConfig::baseline().with_prefetcher(kind);
+    c.warmup_insts = 5_000;
+    c
+}
+
+fn bench_single(c: &mut Criterion, group: &str, kind: PrefetcherKind, kernel: &str) {
+    let program = kernel_by_name(kernel).expect("kernel").build_small();
+    c.benchmark_group(group)
+        .sample_size(10)
+        .bench_function(format!("{}_{kernel}", kind.name()), |b| {
+            b.iter(|| black_box(run_single(&program, &quick_cfg(kind), INSTS).ipc()))
+        });
+}
+
+fn fig01_perfect(c: &mut Criterion) {
+    bench_single(c, "fig01_perfect", PrefetcherKind::Perfect, "libquantum");
+    bench_single(c, "fig01_perfect", PrefetcherKind::Stride, "libquantum");
+}
+
+fn fig03_deltas(c: &mut Criterion) {
+    let program = kernel_by_name("mcf").unwrap().build_small();
+    c.benchmark_group("fig03_deltas")
+        .sample_size(10)
+        .bench_function("delta_cdfs_mcf", |b| {
+            b.iter(|| black_box(delta_cdfs(&program, 20_000).reg[0].count()))
+        });
+}
+
+fn fig07_branches(c: &mut Criterion) {
+    let program = kernel_by_name("sjeng").unwrap().build_small();
+    c.benchmark_group("fig07_branches")
+        .sample_size(10)
+        .bench_function("fetch_histogram", |b| {
+            b.iter(|| {
+                let r = run_single(&program, &quick_cfg(PrefetcherKind::None), INSTS);
+                black_box(r.branch_fetch_hist)
+            })
+        });
+}
+
+fn tab1_storage(c: &mut Criterion) {
+    c.benchmark_group("tab1_storage")
+        .bench_function("storage_report", |b| {
+            b.iter(|| black_box(BFetchConfig::baseline().storage_report().total_kb()))
+        });
+}
+
+fn fig08_single(c: &mut Criterion) {
+    for kind in [
+        PrefetcherKind::Stride,
+        PrefetcherKind::Sms,
+        PrefetcherKind::BFetch,
+    ] {
+        bench_single(c, "fig08_single", kind, "leslie3d");
+    }
+}
+
+fn fig09_mix2(c: &mut Criterion) {
+    let mix = &select_mixes(2, 1)[0];
+    let programs: Vec<_> = mix.members.iter().map(|k| k.build(Scale::Small)).collect();
+    c.benchmark_group("fig09_mix2")
+        .sample_size(10)
+        .bench_function("top_mix_bfetch", |b| {
+            b.iter(|| {
+                let r = run_multi(&programs, &quick_cfg(PrefetcherKind::BFetch), INSTS);
+                black_box(r[0].ipc() + r[1].ipc())
+            })
+        });
+}
+
+fn fig10_mix4(c: &mut Criterion) {
+    let mix = &select_mixes(4, 1)[0];
+    let programs: Vec<_> = mix.members.iter().map(|k| k.build(Scale::Small)).collect();
+    c.benchmark_group("fig10_mix4")
+        .sample_size(10)
+        .bench_function("top_mix_bfetch", |b| {
+            b.iter(|| {
+                let r = run_multi(&programs, &quick_cfg(PrefetcherKind::BFetch), 8_000);
+                black_box(r.iter().map(|x| x.ipc()).sum::<f64>())
+            })
+        });
+}
+
+fn fig11_accuracy(c: &mut Criterion) {
+    let program = kernel_by_name("mcf").unwrap().build_small();
+    c.benchmark_group("fig11_accuracy")
+        .sample_size(10)
+        .bench_function("useful_useless_bfetch", |b| {
+            b.iter(|| {
+                let r = run_single(&program, &quick_cfg(PrefetcherKind::BFetch), INSTS);
+                black_box((r.mem.prefetch_useful, r.mem.prefetch_useless))
+            })
+        });
+}
+
+fn fig12_confidence(c: &mut Criterion) {
+    let program = kernel_by_name("astar").unwrap().build_small();
+    let mut g = c.benchmark_group("fig12_confidence");
+    g.sample_size(10);
+    for t in [0.45f64, 0.75, 0.90] {
+        g.bench_function(format!("threshold_{t}"), |b| {
+            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+            cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
+            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        });
+    }
+    g.finish();
+}
+
+fn fig13_bpsize(c: &mut Criterion) {
+    let program = kernel_by_name("sjeng").unwrap().build_small();
+    let mut g = c.benchmark_group("fig13_bpsize");
+    g.sample_size(10);
+    for s in [0.5f64, 1.0, 4.0] {
+        g.bench_function(format!("scale_{s}"), |b| {
+            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+            cfg.bpred_scale = s;
+            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        });
+    }
+    g.finish();
+}
+
+fn fig14_width(c: &mut Criterion) {
+    let program = kernel_by_name("leslie3d").unwrap().build_small();
+    let mut g = c.benchmark_group("fig14_width");
+    g.sample_size(10);
+    for w in [2usize, 4, 8] {
+        g.bench_function(format!("{w}_wide"), |b| {
+            let cfg = quick_cfg(PrefetcherKind::BFetch).with_width(w);
+            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        });
+    }
+    g.finish();
+}
+
+fn fig15_storage(c: &mut Criterion) {
+    let program = kernel_by_name("libquantum").unwrap().build_small();
+    let mut g = c.benchmark_group("fig15_storage");
+    g.sample_size(10);
+    for e in [64usize, 256, 512] {
+        g.bench_function(format!("{e}_entries"), |b| {
+            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+            cfg.bfetch = cfg.bfetch.with_table_entries(e);
+            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig01_perfect,
+    fig03_deltas,
+    fig07_branches,
+    tab1_storage,
+    fig08_single,
+    fig09_mix2,
+    fig10_mix4,
+    fig11_accuracy,
+    fig12_confidence,
+    fig13_bpsize,
+    fig14_width,
+    fig15_storage
+);
+criterion_main!(figures);

@@ -1,0 +1,59 @@
+//! Extension: ablation of B-Fetch's design choices (not a paper figure,
+//! but each switch corresponds to a mechanism Section IV argues for):
+//!
+//! * `no-filter`  — per-load filter disabled (Section IV-B3);
+//! * `no-loops`   — loop detection / `LoopCnt × LoopDelta` disabled;
+//! * `no-patt`    — pos/negPatt sibling expansion disabled;
+//! * `retire-arf` — ARF copied from retire-stage architectural state
+//!   instead of the sampling-latched execute values (Section IV-B2 reports
+//!   the execute copy gives a significant improvement).
+
+use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_core::BFetchConfig;
+use bfetch_sim::PrefetcherKind;
+use bfetch_workloads::kernels;
+
+fn main() {
+    let opts = Opts::from_args();
+    type Tweak = Box<dyn Fn(&mut BFetchConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
+        ("full", Box::new(|_c: &mut BFetchConfig| {})),
+        (
+            "no-filter",
+            Box::new(|c: &mut BFetchConfig| c.enable_filter = false),
+        ),
+        (
+            "no-loops",
+            Box::new(|c: &mut BFetchConfig| c.enable_loops = false),
+        ),
+        (
+            "no-patt",
+            Box::new(|c: &mut BFetchConfig| c.enable_patt = false),
+        ),
+        (
+            "retire-arf",
+            Box::new(|c: &mut BFetchConfig| c.arf_at_retire = true),
+        ),
+    ];
+    let base_cfg = opts.config(PrefetcherKind::None);
+    let mut rows = Vec::new();
+    for k in kernels() {
+        let base = run_kernel(k, &base_cfg, &opts).ipc();
+        let vals = variants
+            .iter()
+            .map(|(_, tweak)| {
+                let mut cfg = opts.config(PrefetcherKind::BFetch);
+                tweak(&mut cfg.bfetch);
+                run_kernel(k, &cfg, &opts).ipc() / base
+            })
+            .collect();
+        rows.push((k.name, vals));
+    }
+    rows.extend(summary_rows(&rows));
+    let headers: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    print_speedup_table(
+        "Extension: B-Fetch design-choice ablation (speedup vs baseline)",
+        &headers,
+        &rows,
+    );
+}

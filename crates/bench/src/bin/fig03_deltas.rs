@@ -1,0 +1,43 @@
+//! Figure 3: cumulative distribution of (a) register-content variation and
+//! (b) effective-address variation across 1/3/12 basic blocks, at 64 B
+//! cache-block granularity, aggregated over all 18 kernels.
+
+use bfetch_bench::Opts;
+use bfetch_sim::analysis::delta_cdfs;
+use bfetch_sim::analysis::HORIZONS;
+use bfetch_stats::Cdf;
+use bfetch_workloads::kernels;
+
+fn main() {
+    let opts = Opts::from_args();
+    let mut reg: [Cdf; 3] = [Cdf::new(), Cdf::new(), Cdf::new()];
+    let mut ea: [Cdf; 3] = [Cdf::new(), Cdf::new(), Cdf::new()];
+    for k in kernels() {
+        let p = k.build(opts.scale);
+        let d = delta_cdfs(&p, opts.instructions);
+        for i in 0..3 {
+            reg[i].merge(&d.reg[i]);
+            ea[i].merge(&d.ea[i]);
+        }
+    }
+
+    for (title, cdfs) in [
+        ("(a) register content", &mut reg),
+        ("(b) effective address", &mut ea),
+    ] {
+        println!("== Figure 3{title}: cumulative distribution of variation (64B blocks) ==");
+        println!(
+            "delta   {}",
+            HORIZONS.map(|h| format!("{h:>2}BB ")).join("   ")
+        );
+        for x in 0..=32u64 {
+            let vals: Vec<String> = (0..3)
+                .map(|i| format!("{:.3}", cdfs[i].fraction_at_or_below(x)))
+                .collect();
+            println!("{x:>5}   {}", vals.join("   "));
+        }
+        println!();
+    }
+    println!("paper reference: 92% / 89% / 82% of register deltas within one");
+    println!("block at 1/3/12 BB; effective addresses spread far wider.");
+}

@@ -1,0 +1,22 @@
+//! Figure 8: single-threaded workload speedups — Stride vs SMS vs B-Fetch,
+//! normalized to the no-prefetch baseline, plus the geomean and the
+//! prefetch-sensitive geomean.
+
+use bfetch_bench::{print_speedup_table, speedups_vs_baseline, summary_rows, Opts};
+use bfetch_sim::PrefetcherKind;
+
+fn main() {
+    let opts = Opts::from_args();
+    let kinds = [
+        PrefetcherKind::Stride,
+        PrefetcherKind::Sms,
+        PrefetcherKind::BFetch,
+    ];
+    let mut rows = speedups_vs_baseline(&opts, &kinds);
+    rows.extend(summary_rows(&rows));
+    print_speedup_table(
+        "Figure 8: single-threaded speedups (vs no-prefetch baseline)",
+        &["stride", "sms", "bfetch"],
+        &rows,
+    );
+}

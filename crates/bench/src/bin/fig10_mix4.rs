@@ -1,0 +1,32 @@
+//! Figure 10: normalized weighted speedup for the 29 highest-contention
+//! 4-application mixes (FOA selection), Stride vs SMS vs B-Fetch.
+
+use bfetch_bench::{mix_summary, mix_weighted_speedups, Opts};
+use bfetch_sim::PrefetcherKind;
+use bfetch_stats::Table;
+
+fn main() {
+    let opts = Opts::from_args();
+    let kinds = [
+        PrefetcherKind::Stride,
+        PrefetcherKind::Sms,
+        PrefetcherKind::BFetch,
+    ];
+    let mut rows = mix_weighted_speedups(&opts, 4, &kinds);
+    rows.push(mix_summary(&rows));
+    let mut t = Table::new(vec![
+        "mix".into(),
+        "stride".into(),
+        "sms".into(),
+        "bfetch".into(),
+    ]);
+    for (name, vals) in &rows {
+        t.row(
+            std::iter::once(name.clone())
+                .chain(vals.iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
+    }
+    println!("== Figure 10: normalized weighted speedup, mixes of 4 ==");
+    print!("{t}");
+}

@@ -1,0 +1,34 @@
+//! Figure 12: sensitivity of B-Fetch to the branch path-confidence
+//! threshold (0.45 / 0.75 / 0.90).
+
+use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_sim::PrefetcherKind;
+use bfetch_workloads::kernels;
+
+fn main() {
+    let opts = Opts::from_args();
+    let thresholds = [0.45, 0.75, 0.90];
+    let base_cfg = opts.config(PrefetcherKind::None);
+    let mut rows = Vec::new();
+    for k in kernels() {
+        let base = run_kernel(k, &base_cfg, &opts).ipc();
+        let vals = thresholds
+            .iter()
+            .map(|&t| {
+                let mut cfg = opts.config(PrefetcherKind::BFetch);
+                cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
+                run_kernel(k, &cfg, &opts).ipc() / base
+            })
+            .collect();
+        rows.push((k.name, vals));
+    }
+    rows.extend(summary_rows(&rows));
+    print_speedup_table(
+        "Figure 12: branch confidence threshold sensitivity (B-Fetch speedup)",
+        &["conf=0.45", "conf=0.75", "conf=0.90"],
+        &rows,
+    );
+    println!();
+    println!("paper reference: 20.6% / 23.2% / 23.0% mean speedup — best at 0.75,");
+    println!("stable across the range thanks to the per-load filter.");
+}

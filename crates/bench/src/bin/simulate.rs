@@ -1,0 +1,163 @@
+//! General-purpose simulation driver: run any kernel (or mix of kernels)
+//! under any prefetcher/predictor/width configuration and print the full
+//! result, including the energy estimate.
+//!
+//! ```sh
+//! cargo run --release -p bfetch-bench --bin simulate -- \
+//!     --kernels mcf,libquantum --prefetcher bfetch --instructions 500000
+//! ```
+
+use bfetch_core::BFetchConfig;
+use bfetch_prefetch::{Isb, Prefetcher, Sms, Stride};
+use bfetch_sim::energy::{estimate, EnergyParams};
+use bfetch_sim::{run_multi, PredictorKind, PrefetcherKind, SimConfig};
+use bfetch_stats::Table;
+use bfetch_workloads::{kernel_by_name, kernels, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--kernels a,b,..] [--prefetcher none|nextn|stride|sms|isb|bfetch|perfect]\n\
+         \x20               [--predictor tournament|perceptron] [--width N] [--instructions N]\n\
+         \x20               [--warmup N] [--small] [--writebacks] [--forwarding] [--row-dram]\n\
+         \x20               [--confidence T] [--list]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut names = vec!["libquantum".to_string()];
+    let mut cfg = SimConfig::baseline();
+    let mut insts = 200_000u64;
+    let mut scale = Scale::Full;
+    let mut args = std::env::args().skip(1);
+    cfg.warmup_insts = 100_000;
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--list" => {
+                for k in kernels() {
+                    println!(
+                        "{:12} {}",
+                        k.name,
+                        if k.prefetch_sensitive {
+                            "prefetch-sensitive"
+                        } else {
+                            "cache-resident"
+                        }
+                    );
+                }
+                return;
+            }
+            "--kernels" => names = val().split(',').map(str::to_string).collect(),
+            "--dump" => {
+                let name = val();
+                let k = kernel_by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown kernel {name:?} (try --list)");
+                    std::process::exit(2)
+                });
+                let p = k.build(Scale::Small);
+                println!("; {} — {} static instructions", p.name(), p.len());
+                for (i, inst) in p.insts().iter().enumerate() {
+                    println!("{i:5}: {inst}");
+                }
+                return;
+            }
+            "--prefetcher" => {
+                cfg.prefetcher = match val().as_str() {
+                    "none" => PrefetcherKind::None,
+                    "nextn" => PrefetcherKind::NextN(4),
+                    "stride" => PrefetcherKind::Stride,
+                    "sms" => PrefetcherKind::Sms,
+                    "isb" => PrefetcherKind::Isb,
+                    "bfetch" => PrefetcherKind::BFetch,
+                    "perfect" => PrefetcherKind::Perfect,
+                    _ => usage(),
+                }
+            }
+            "--predictor" => {
+                cfg.predictor = match val().as_str() {
+                    "tournament" => PredictorKind::Tournament,
+                    "perceptron" => PredictorKind::Perceptron,
+                    _ => usage(),
+                }
+            }
+            "--width" => cfg = cfg.with_width(val().parse().unwrap_or_else(|_| usage())),
+            "--instructions" => insts = val().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => cfg.warmup_insts = val().parse().unwrap_or_else(|_| usage()),
+            "--small" => scale = Scale::Small,
+            "--writebacks" => cfg.model_writebacks = true,
+            "--forwarding" => cfg.store_forwarding = true,
+            "--row-dram" => cfg.dram = bfetch_mem::DramConfig::with_row_model(),
+            "--confidence" => {
+                cfg.bfetch = cfg
+                    .bfetch
+                    .with_confidence_threshold(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+
+    let programs: Vec<_> = names
+        .iter()
+        .map(|n| {
+            kernel_by_name(n)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown kernel {n:?} (try --list)");
+                    std::process::exit(2)
+                })
+                .build(scale)
+        })
+        .collect();
+
+    let storage_kb = match cfg.prefetcher {
+        PrefetcherKind::Stride => Stride::degree8().storage_kb(),
+        PrefetcherKind::Sms => Sms::baseline().storage_kb(),
+        PrefetcherKind::Isb => Isb::baseline().storage_kb(),
+        PrefetcherKind::BFetch => BFetchConfig::baseline().storage_report().total_kb(),
+        _ => 0.0,
+    };
+
+    let results = run_multi(&programs, &cfg, insts);
+    let mut t = Table::new(vec![
+        "core".into(),
+        "workload".into(),
+        "IPC".into(),
+        "bp miss".into(),
+        "L1D MPKI".into(),
+        "pf useful".into(),
+        "pf useless".into(),
+        "nJ/inst".into(),
+    ]);
+    for (i, r) in results.iter().enumerate() {
+        let e = estimate(r, storage_kb, &EnergyParams::baseline());
+        t.row(vec![
+            i.to_string(),
+            r.workload.clone(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.2}%", 100.0 * r.bp_miss_rate()),
+            format!(
+                "{:.1}",
+                r.mem.l1d_misses as f64 * 1000.0 / r.instructions as f64
+            ),
+            r.mem.prefetch_useful.to_string(),
+            r.mem.prefetch_useless.to_string(),
+            format!("{:.2}", e.nj_per_inst(r.instructions)),
+        ]);
+    }
+    println!(
+        "prefetcher={} predictor={:?} cores={} insts={insts}",
+        cfg.prefetcher.name(),
+        cfg.predictor,
+        programs.len()
+    );
+    print!("{t}");
+    if let Some(e) = &results[0].engine {
+        println!(
+            "engine: mean lookahead depth {:.1}, {} candidates, {} filtered, {} conf stops",
+            e.mean_depth(),
+            e.candidates,
+            e.filtered,
+            e.confidence_stops
+        );
+    }
+}

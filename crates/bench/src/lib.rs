@@ -1,0 +1,313 @@
+//! # bfetch-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §3 for the experiment index). Each
+//! figure has a binary (`cargo run --release -p bfetch-bench --bin figNN_*`)
+//! that prints the same rows/series the paper reports, plus a Criterion
+//! bench that exercises a reduced version of the same pipeline.
+//!
+//! Binaries accept `--instructions N` (measured instructions per core,
+//! default 300k), `--warmup N`, and `--small` (reduced footprints) so runs
+//! can be scaled from smoke test to full evaluation.
+
+use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
+use bfetch_stats::geomean;
+use bfetch_workloads::{kernels, Kernel, Scale};
+
+/// Common command-line options for the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            instructions: 300_000,
+            warmup: 150_000,
+            scale: Scale::Full,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses the standard flags from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut o = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--instructions" | "-n" => {
+                    o.instructions = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--instructions requires a count");
+                }
+                "--warmup" => {
+                    o.warmup = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--warmup requires a count");
+                }
+                "--small" => o.scale = Scale::Small,
+                other => {
+                    panic!("unknown flag {other}; supported: --instructions N, --warmup N, --small")
+                }
+            }
+        }
+        o
+    }
+
+    /// A [`SimConfig`] carrying this run's warmup and the given prefetcher.
+    pub fn config(&self, kind: PrefetcherKind) -> SimConfig {
+        let mut c = SimConfig::baseline().with_prefetcher(kind);
+        c.warmup_insts = self.warmup;
+        c
+    }
+}
+
+/// Runs `kernel` under `cfg` and returns the result.
+pub fn run_kernel(kernel: &Kernel, cfg: &SimConfig, opts: &Opts) -> RunResult {
+    let program = kernel.build(opts.scale);
+    run_single(&program, cfg, opts.instructions)
+}
+
+/// Per-kernel speedups of one prefetcher configuration against the
+/// no-prefetch baseline, in registry order. Kernels run on parallel
+/// threads (each simulation is self-contained and deterministic).
+pub fn speedups_vs_baseline(
+    opts: &Opts,
+    kinds: &[PrefetcherKind],
+) -> Vec<(&'static str, Vec<f64>)> {
+    parallel_over_kernels(|k| {
+        let base = run_kernel(k, &opts.config(PrefetcherKind::None), opts).ipc();
+        kinds
+            .iter()
+            .map(|&kind| run_kernel(k, &opts.config(kind), opts).ipc() / base)
+            .collect()
+    })
+}
+
+/// Runs `f` for every kernel on its own thread and returns the results in
+/// registry order. Simulations share no state, so this is a pure fan-out;
+/// determinism is unaffected.
+pub fn parallel_over_kernels<F>(f: F) -> Vec<(&'static str, Vec<f64>)>
+where
+    F: Fn(&'static Kernel) -> Vec<f64> + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = kernels()
+            .iter()
+            .map(|k| (k.name, scope.spawn(|| f(k))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("kernel thread panicked")))
+            .collect()
+    })
+}
+
+/// Appends the two summary rows the paper's per-benchmark figures carry:
+/// the geometric mean over all kernels and over the prefetch-sensitive
+/// subset.
+pub fn summary_rows(rows: &[(&'static str, Vec<f64>)]) -> Vec<(&'static str, Vec<f64>)> {
+    let ncols = rows.first().map_or(0, |(_, r)| r.len());
+    let sensitive: Vec<&str> = kernels()
+        .iter()
+        .filter(|k| k.prefetch_sensitive)
+        .map(|k| k.name)
+        .collect();
+    let mut out = Vec::new();
+    for (label, filter) in [("Geomean", None), ("Geomean pf. sens.", Some(&sensitive))] {
+        let mut cols = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|(name, _)| filter.is_none_or(|f: &Vec<&str>| f.contains(name)))
+                .map(|(_, r)| r[c])
+                .collect();
+            cols.push(geomean(&vals));
+        }
+        out.push((label, cols));
+    }
+    out
+}
+
+/// Normalized weighted speedups for the paper's multiprogrammed
+/// experiments (Figures 9 and 10).
+///
+/// For each FOA-selected mix of `arity` kernels and each prefetcher in
+/// `kinds`, runs the mix on a CMP with a shared L3 sized per Table II
+/// (2 MB/core), computes the weighted speedup
+/// `Σ IPC_multi / IPC_single`, and normalizes it to the no-prefetch
+/// baseline's weighted speedup for the same mix. The solo IPCs are
+/// measured on the *baseline* (no-prefetch) configuration for every
+/// column — a common set of weights, so the normalized value measures the
+/// prefetcher's weighted throughput gain in the mix (consistent with the
+/// paper's Figure 9/10 bars, which reach 2.6x).
+pub fn mix_weighted_speedups(
+    opts: &Opts,
+    arity: usize,
+    kinds: &[PrefetcherKind],
+) -> Vec<(String, Vec<f64>)> {
+    mix_weighted_speedups_n(opts, arity, kinds, bfetch_workloads::NUM_MIXES)
+}
+
+/// [`mix_weighted_speedups`] over only the `count` highest-contention
+/// mixes (the 8-core extension uses a reduced set).
+pub fn mix_weighted_speedups_n(
+    opts: &Opts,
+    arity: usize,
+    kinds: &[PrefetcherKind],
+    count: usize,
+) -> Vec<(String, Vec<f64>)> {
+    use bfetch_sim::run_multi;
+    use std::collections::HashMap;
+
+    let mixes = bfetch_workloads::select_mixes(arity, count);
+    let mut solo: HashMap<(&'static str, &'static str), f64> = HashMap::new();
+    let mut solo_ipc = |k: &'static Kernel, kind: PrefetcherKind, opts: &Opts| -> f64 {
+        *solo
+            .entry((k.name, kind.name()))
+            .or_insert_with(|| run_kernel(k, &opts.config(kind), opts).ipc())
+    };
+
+    let all_kinds: Vec<PrefetcherKind> = std::iter::once(PrefetcherKind::None)
+        .chain(kinds.iter().copied())
+        .collect();
+    // pre-compute the common solo weights serially (they are shared)
+    let weights: HashMap<&'static str, f64> = {
+        let mut w = HashMap::new();
+        for m in &mixes {
+            for k in &m.members {
+                let v = solo_ipc(k, PrefetcherKind::None, opts);
+                w.insert(k.name, v);
+            }
+        }
+        w
+    };
+    // each (mix, config) simulation is independent: fan out across threads
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = mixes
+            .iter()
+            .map(|m| {
+                let all_kinds = &all_kinds;
+                let weights = &weights;
+                let name = m.name.clone();
+                let h = scope.spawn(move || {
+                    let programs: Vec<_> = m.members.iter().map(|k| k.build(opts.scale)).collect();
+                    let mut ws = Vec::new();
+                    for &kind in all_kinds {
+                        let results = run_multi(&programs, &opts.config(kind), opts.instructions);
+                        let pairs: Vec<(f64, f64)> = results
+                            .iter()
+                            .zip(m.members.iter())
+                            .map(|(r, k)| (r.ipc(), weights[k.name]))
+                            .collect();
+                        ws.push(bfetch_stats::weighted_speedup(&pairs));
+                    }
+                    let base = ws[0];
+                    ws[1..].iter().map(|w| w / base).collect::<Vec<f64>>()
+                });
+                (name, h)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("mix thread panicked")))
+            .collect()
+    })
+}
+
+/// Geomean summary row over mix results.
+pub fn mix_summary(rows: &[(String, Vec<f64>)]) -> (String, Vec<f64>) {
+    let ncols = rows.first().map_or(0, |(_, r)| r.len());
+    let cols = (0..ncols)
+        .map(|c| geomean(&rows.iter().map(|(_, r)| r[c]).collect::<Vec<_>>()))
+        .collect();
+    ("Geomean".to_string(), cols)
+}
+
+/// Formats a speedup table with the given column headers.
+pub fn print_speedup_table(title: &str, headers: &[&str], rows: &[(&'static str, Vec<f64>)]) {
+    println!("== {title} ==");
+    let mut t = bfetch_stats::Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in rows {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(vals.iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
+    }
+    print!("{t}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_rows_compute_geomeans() {
+        let rows: Vec<(&'static str, Vec<f64>)> = kernels()
+            .iter()
+            .map(|k| (k.name, vec![if k.prefetch_sensitive { 2.0 } else { 1.0 }]))
+            .collect();
+        let s = summary_rows(&rows);
+        assert_eq!(s.len(), 2);
+        assert!(s[0].1[0] < 2.0 && s[0].1[0] > 1.0);
+        assert!((s[1].1[0] - 2.0).abs() < 1e-12, "sensitive-only geomean");
+    }
+
+    #[test]
+    fn default_opts() {
+        let o = Opts::default();
+        assert!(o.instructions > 0 && o.warmup > 0);
+    }
+
+    #[test]
+    fn config_carries_warmup_and_kind() {
+        let o = Opts {
+            warmup: 1234,
+            ..Opts::default()
+        };
+        let c = o.config(PrefetcherKind::Sms);
+        assert_eq!(c.warmup_insts, 1234);
+        assert_eq!(c.prefetcher.name(), "sms");
+    }
+
+    #[test]
+    fn parallel_fanout_preserves_registry_order() {
+        let rows = parallel_over_kernels(|k| vec![k.name.len() as f64]);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+        let expect: Vec<&str> = kernels().iter().map(|k| k.name).collect();
+        assert_eq!(names, expect);
+        for (name, vals) in rows {
+            assert_eq!(vals[0], name.len() as f64);
+        }
+    }
+
+    #[test]
+    fn mix_summary_is_columnwise_geomean() {
+        let rows = vec![
+            ("a".to_string(), vec![2.0, 1.0]),
+            ("b".to_string(), vec![8.0, 1.0]),
+        ];
+        let (label, cols) = mix_summary(&rows);
+        assert_eq!(label, "Geomean");
+        assert!((cols[0] - 4.0).abs() < 1e-12);
+        assert!((cols[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Global branch-history register.
+
+/// A shift register of recent branch outcomes (1 = taken), newest in the
+/// least-significant bit.
+///
+/// The timing core pushes *actual* outcomes at fetch (execute-at-fetch
+/// model); the B-Fetch lookahead clones the bits into a
+/// [`SpeculativeCursor`](crate::SpeculativeCursor) and pushes *predicted*
+/// outcomes without disturbing the architectural copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoryRegister {
+    bits: u64,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero (all not-taken) history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw history bits.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Shifts in one outcome (newest at bit 0).
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+    }
+
+    /// Restores the register to a previously captured value (misprediction
+    /// repair).
+    #[inline]
+    pub fn restore(&mut self, bits: u64) {
+        self.bits = bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_at_lsb() {
+        let mut h = HistoryRegister::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.bits() & 0b111, 0b101);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut h = HistoryRegister::new();
+        h.push(true);
+        let snap = h.bits();
+        h.push(false);
+        h.push(false);
+        h.restore(snap);
+        assert_eq!(h.bits(), snap);
+    }
+}

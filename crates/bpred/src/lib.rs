@@ -1,0 +1,80 @@
+//! # bfetch-bpred
+//!
+//! Branch prediction substrate for the B-Fetch reproduction.
+//!
+//! The paper's baseline core (Table II) uses a **6.55 KB tournament
+//! predictor** (Alpha 21264 style: a local history predictor, a gshare-like
+//! global predictor, and a chooser) achieving a 2.76% misprediction rate on
+//! its SPEC subset. B-Fetch additionally requires:
+//!
+//! * a **composite per-branch confidence estimator** (Jimenez, SBAC-PAD
+//!   2009) combining JRS miss-distance counters, an up/down counter, and a
+//!   *self* estimator derived from the strength of the predictor's own
+//!   saturating counter, and
+//! * a **path confidence** (Malik et al., HPCA 2008: PaCo) — the product of
+//!   per-branch confidence probabilities along the speculative lookahead
+//!   path, used to throttle lookahead depth (threshold 0.75 in Table II).
+//!
+//! The main pipeline owns a [`TournamentPredictor`] plus a
+//! [`HistoryRegister`]; the B-Fetch lookahead walks future branches with a
+//! [`SpeculativeCursor`], which snapshots the history and queries the shared
+//! tables read-only (Section IV-C argues the predictor port is idle >99.95%
+//! of cycles, so no second copy of the state is needed).
+//!
+//! # Example
+//!
+//! ```
+//! use bfetch_bpred::{TournamentPredictor, TournamentConfig, HistoryRegister};
+//!
+//! let mut bp = TournamentPredictor::new(TournamentConfig::baseline());
+//! let mut ghr = HistoryRegister::new();
+//! // A loop branch taken 9 of 10 times trains quickly.
+//! for i in 0..1000u32 {
+//!     let taken = i % 10 != 9;
+//!     let p = bp.predict(0x400100, ghr.bits());
+//!     bp.update(0x400100, ghr.bits(), taken);
+//!     ghr.push(taken);
+//!     let _ = p;
+//! }
+//! let p = bp.predict(0x400100, ghr.bits());
+//! assert!(p.taken);
+//! ```
+
+pub mod btb;
+pub mod confidence;
+pub mod ghr;
+pub mod perceptron;
+pub mod tournament;
+
+pub use btb::Btb;
+pub use confidence::{CompositeConfidence, ConfidenceConfig, PathConfidence};
+pub use ghr::HistoryRegister;
+pub use perceptron::{PerceptronConfig, PerceptronPredictor};
+pub use tournament::{Prediction, SpeculativeCursor, TournamentConfig, TournamentPredictor};
+
+/// A conditional-branch direction predictor, usable both by the main
+/// pipeline and (read-only) by the B-Fetch lookahead. Implemented by the
+/// baseline [`TournamentPredictor`] and the [`PerceptronPredictor`]
+/// evaluated as the paper's "state-of-the-art predictor" future work.
+pub trait DirectionPredictor: std::fmt::Debug {
+    /// Looks up a prediction for the branch at `pc` under history `ghr`.
+    /// Must be side-effect free (the lookahead shares the tables).
+    fn predict(&self, pc: u64, ghr: u64) -> Prediction;
+
+    /// Trains with the resolved outcome, using the history captured at
+    /// prediction time.
+    fn update(&mut self, pc: u64, ghr: u64, taken: bool);
+
+    /// `(lookups, mispredicts)` counters.
+    fn stats(&self) -> (u64, u64);
+
+    /// Misprediction rate in `[0, 1]`.
+    fn miss_rate(&self) -> f64 {
+        let (l, m) = self.stats();
+        if l == 0 {
+            0.0
+        } else {
+            m as f64 / l as f64
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Hashed perceptron branch predictor (Jiménez & Lin, HPCA 2001 lineage).
+//!
+//! The paper's future work: "we plan to evaluate B-Fetch with the
+//! state-of-art branch predictors". The hashed perceptron is the natural
+//! candidate — its output magnitude doubles as a high-quality confidence
+//! signal, which is exactly what B-Fetch's path confidence consumes.
+
+use crate::tournament::Prediction;
+use crate::DirectionPredictor;
+
+/// Geometry of the hashed perceptron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerceptronConfig {
+    /// Number of weight tables (history segments).
+    pub tables: usize,
+    /// Entries per table (power of two).
+    pub entries: usize,
+    /// Global history bits consumed per table.
+    pub bits_per_table: u32,
+    /// Training threshold θ.
+    pub theta: i32,
+}
+
+impl PerceptronConfig {
+    /// An ~8 KB configuration comparable to the Table II budget.
+    pub fn baseline() -> Self {
+        Self {
+            tables: 8,
+            entries: 1024,
+            bits_per_table: 8,
+            theta: 34,
+        }
+    }
+
+    /// Total storage in bits (8-bit weights).
+    pub fn storage_bits(&self) -> u64 {
+        (self.tables * self.entries) as u64 * 8
+    }
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// The hashed perceptron predictor.
+///
+/// # Example
+///
+/// ```
+/// use bfetch_bpred::{PerceptronPredictor, DirectionPredictor};
+/// let mut bp = PerceptronPredictor::baseline();
+/// for _ in 0..100 {
+///     bp.update(0x400100, 0, true);
+/// }
+/// assert!(bp.predict(0x400100, 0).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerceptronPredictor {
+    cfg: PerceptronConfig,
+    weights: Vec<Vec<i8>>,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl PerceptronPredictor {
+    /// Builds the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two and `tables > 0`.
+    pub fn new(cfg: PerceptronConfig) -> Self {
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "entries must be power of two"
+        );
+        assert!(cfg.tables > 0, "need at least one table");
+        Self {
+            cfg,
+            weights: vec![vec![0i8; cfg.entries]; cfg.tables],
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Baseline-configured predictor.
+    pub fn baseline() -> Self {
+        Self::new(PerceptronConfig::baseline())
+    }
+
+    #[inline]
+    fn index(&self, table: usize, pc: u64, ghr: u64) -> usize {
+        let seg = (ghr >> (table as u32 * self.cfg.bits_per_table))
+            & ((1u64 << self.cfg.bits_per_table) - 1);
+        let h = (pc >> 2)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(7 + table as u32)
+            ^ seg.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        (h as usize) & (self.cfg.entries - 1)
+    }
+
+    fn sum(&self, pc: u64, ghr: u64) -> i32 {
+        (0..self.cfg.tables)
+            .map(|t| self.weights[t][self.index(t, pc, ghr)] as i32)
+            .sum()
+    }
+}
+
+impl DirectionPredictor for PerceptronPredictor {
+    fn predict(&self, pc: u64, ghr: u64) -> Prediction {
+        let sum = self.sum(pc, ghr);
+        let strength = ((sum.unsigned_abs() * 3) / self.cfg.theta as u32).min(3) as u8;
+        Prediction {
+            taken: sum >= 0,
+            strength,
+            used_global: true,
+        }
+    }
+
+    fn update(&mut self, pc: u64, ghr: u64, taken: bool) {
+        self.lookups += 1;
+        let sum = self.sum(pc, ghr);
+        let predicted = sum >= 0;
+        if predicted != taken {
+            self.mispredicts += 1;
+        }
+        if predicted != taken || sum.abs() <= self.cfg.theta {
+            for t in 0..self.cfg.tables {
+                let i = self.index(t, pc, ghr);
+                let w = &mut self.weights[t][i];
+                *w = if taken {
+                    w.saturating_add(1)
+                } else {
+                    w.saturating_sub(1)
+                };
+            }
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.mispredicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(bp: &mut PerceptronPredictor, pc: u64, pattern: &[bool], reps: usize) -> f64 {
+        let mut ghr = 0u64;
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for _ in 0..reps {
+            for &taken in pattern {
+                if bp.predict(pc, ghr).taken == taken {
+                    correct += 1;
+                }
+                total += 1;
+                bp.update(pc, ghr, taken);
+                ghr = (ghr << 1) | taken as u64;
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut bp = PerceptronPredictor::baseline();
+        let acc = train(&mut bp, 0x40_0000, &[true], 300);
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn learns_history_correlated_pattern() {
+        // taken iff the previous outcome was not-taken: pure history signal
+        let mut bp = PerceptronPredictor::baseline();
+        let acc = train(&mut bp, 0x40_0040, &[true, false], 400);
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn learns_long_loop_exit() {
+        let mut pat = vec![true; 24];
+        pat.push(false);
+        let mut bp = PerceptronPredictor::baseline();
+        let acc = train(&mut bp, 0x40_0080, &pat, 200);
+        assert!(acc > 0.93, "{acc}");
+    }
+
+    #[test]
+    fn strength_grows_with_training() {
+        let mut bp = PerceptronPredictor::baseline();
+        let cold = bp.predict(0x40_0100, 0).strength;
+        for _ in 0..200 {
+            bp.update(0x40_0100, 0, true);
+        }
+        let hot = bp.predict(0x40_0100, 0).strength;
+        assert!(hot >= cold);
+        assert_eq!(hot, 3, "saturated weights give full strength");
+    }
+
+    #[test]
+    fn miss_rate_tracked() {
+        let mut bp = PerceptronPredictor::baseline();
+        train(&mut bp, 0x40_0140, &[true], 100);
+        let (lookups, miss) = bp.stats();
+        assert_eq!(lookups, 100);
+        assert!(miss < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        PerceptronPredictor::new(PerceptronConfig {
+            entries: 1000,
+            ..PerceptronConfig::baseline()
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the prediction substrate.
+
+use bfetch_bpred::{
+    Btb, CompositeConfidence, ConfidenceConfig, HistoryRegister, PathConfidence, TournamentConfig,
+    TournamentPredictor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The predictor converges on any single-branch periodic pattern with
+    /// period <= 8 (well within the local history length).
+    #[test]
+    fn converges_on_short_periodic_patterns(
+        pattern in prop::collection::vec(any::<bool>(), 1..8),
+        pc in (0x40_0000u64..0x48_0000).prop_map(|p| p & !3),
+    ) {
+        let mut bp = TournamentPredictor::new(TournamentConfig::baseline());
+        let mut ghr = 0u64;
+        // train
+        for _ in 0..400 {
+            for &t in &pattern {
+                bp.update(pc, ghr, t);
+                ghr = (ghr << 1) | t as u64;
+            }
+        }
+        // measure
+        let mut correct = 0usize;
+        let total = pattern.len() * 50;
+        for _ in 0..50 {
+            for &t in &pattern {
+                if bp.predict(pc, ghr).taken == t {
+                    correct += 1;
+                }
+                bp.update(pc, ghr, t);
+                ghr = (ghr << 1) | t as u64;
+            }
+        }
+        prop_assert!(correct as f64 / total as f64 > 0.9,
+            "pattern {pattern:?} predicted {correct}/{total}");
+    }
+
+    /// Training with outcome X makes an immediate re-prediction lean
+    /// toward X at least as much as before (monotone counter property).
+    #[test]
+    fn training_is_monotone(pc in any::<u64>(), ghr in any::<u64>(), taken in any::<bool>()) {
+        let mut bp = TournamentPredictor::new(TournamentConfig::baseline());
+        for _ in 0..8 {
+            bp.update(pc, ghr, taken);
+        }
+        prop_assert_eq!(bp.predict(pc, ghr).taken, taken);
+    }
+
+    /// Path confidence is the exact product of the extended values.
+    #[test]
+    fn path_confidence_is_a_product(vals in prop::collection::vec(0.01f64..1.0, 1..20)) {
+        let mut p = PathConfidence::new(0.0);
+        let mut expect = 1.0;
+        for v in &vals {
+            p.extend(*v);
+            expect *= v;
+        }
+        prop_assert!((p.value() - expect).abs() < 1e-9);
+    }
+
+    /// Confidence estimates are probabilities, whatever the training
+    /// history.
+    #[test]
+    fn estimates_are_probabilities(
+        events in prop::collection::vec((any::<u64>(), any::<bool>()), 0..200),
+        q in any::<u64>(),
+    ) {
+        let mut c = CompositeConfidence::new(ConfidenceConfig::baseline());
+        for (pc, ok) in events {
+            c.train(pc, pc >> 3, (pc % 4) as u8, ok);
+        }
+        let e = c.estimate(q, q >> 3, (q % 4) as u8);
+        prop_assert!(e > 0.0 && e < 1.0);
+    }
+
+    /// BTB: installed mappings are retrievable until evicted; lookups never
+    /// return a target that was not installed for that PC.
+    #[test]
+    fn btb_returns_only_installed_targets(
+        installs in prop::collection::vec((0u64..4096, any::<u64>()), 1..100),
+        probe in 0u64..4096,
+    ) {
+        let mut btb = Btb::new(64, 4);
+        use std::collections::HashMap;
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for (pc, tgt) in installs {
+            btb.install(pc << 2, tgt);
+            last.insert(pc << 2, tgt);
+        }
+        if let Some(t) = btb.lookup(probe << 2) {
+            prop_assert_eq!(Some(&t), last.get(&(probe << 2)));
+        }
+    }
+
+    /// History register push/restore round-trips.
+    #[test]
+    fn ghr_round_trip(bits in any::<u64>(), outcomes in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut h = HistoryRegister::new();
+        h.restore(bits);
+        let snap = h.bits();
+        for t in &outcomes {
+            h.push(*t);
+        }
+        h.restore(snap);
+        prop_assert_eq!(h.bits(), bits);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the B-Fetch engine structures.
+
+use bfetch_core::{
+    bb_key, BFetchConfig, BrTcEntry, BranchTraceCache, MemoryHistoryTable, PerLoadFilter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// MHT offset learning reconstructs the training EA exactly when the
+    /// register value is unchanged (Equation 1/2 identity).
+    #[test]
+    fn mht_reconstructs_training_ea(
+        key in any::<u64>(),
+        branch_pc in (0x40_0000u64..0x50_0000).prop_map(|p| p & !3),
+        reg in 1u8..32,
+        reg_val in any::<u64>(),
+        ea in any::<u64>(),
+    ) {
+        let mut mht = MemoryHistoryTable::new(128, 3);
+        mht.learn_load(key, branch_pc, reg, reg_val, ea, 0x55);
+        let slots = mht.lookup(key, branch_pc).expect("just trained");
+        let s = slots.iter().find(|s| s.valid && s.reg_idx == reg).expect("slot");
+        prop_assert_eq!(s.prefetch_address(reg_val, 0), ea);
+    }
+
+    /// The prediction tracks register motion: if the register moves by
+    /// delta, the prefetch address moves by exactly delta.
+    #[test]
+    fn mht_prediction_follows_register(
+        reg_val in any::<u64>(),
+        ea in any::<u64>(),
+        delta in any::<u64>(),
+    ) {
+        let mut mht = MemoryHistoryTable::new(128, 3);
+        mht.learn_load(7, 0x40_0000, 3, reg_val, ea, 1);
+        let s = mht.lookup(7, 0x40_0000).unwrap()[0];
+        prop_assert_eq!(
+            s.prefetch_address(reg_val.wrapping_add(delta), 0),
+            ea.wrapping_add(delta)
+        );
+    }
+
+    /// Loop extrapolation is linear in the loop count.
+    #[test]
+    fn mht_loop_delta_linear(base in any::<u64>(), stride in 1i64..1_000_000, k in 0u32..31) {
+        let mut mht = MemoryHistoryTable::new(128, 3);
+        mht.learn_load(9, 0x40_0100, 2, base, base, 4);
+        mht.learn_load(9, 0x40_0100, 2, base, base.wrapping_add(stride as u64), 4);
+        let s = mht.lookup(9, 0x40_0100).unwrap()[0];
+        let predicted = s.prefetch_address(base, k);
+        let expect = base
+            .wrapping_add(stride as u64)
+            .wrapping_add((stride.wrapping_mul(k as i64)) as u64);
+        prop_assert_eq!(predicted, expect);
+    }
+
+    /// The BrTC returns exactly what was last stored for an edge (or
+    /// nothing), never a different edge's data under the same key.
+    #[test]
+    fn brtc_no_false_hits(
+        edges in prop::collection::vec(
+            ((0x40_0000u64..0x40_4000).prop_map(|p| p & !3), any::<bool>(), any::<u64>()),
+            1..64,
+        ),
+    ) {
+        let mut brtc = BranchTraceCache::new(64);
+        use std::collections::HashMap;
+        let mut truth = HashMap::new();
+        for (i, (pc, taken, target)) in edges.iter().enumerate() {
+            let e = BrTcEntry {
+                next_branch_pc: i as u64 * 4 + 0x50_0000,
+                next_taken_target: *target,
+                next_is_cond: *taken,
+            };
+            brtc.update(*pc, *taken, *target, e);
+            truth.insert((*pc, *taken, *target), e);
+        }
+        for ((pc, taken, target), e) in truth {
+            if let Some(found) = brtc.lookup(pc, taken, target) {
+                prop_assert_eq!(found, e, "stale or aliased BrTC entry");
+            }
+        }
+    }
+
+    /// bb_key: the same edge always hashes identically, and flipping the
+    /// direction changes the key.
+    #[test]
+    fn bb_key_properties(pc in any::<u64>(), target in any::<u64>()) {
+        prop_assert_eq!(bb_key(pc, true, target), bb_key(pc, true, target));
+        prop_assert_ne!(bb_key(pc, true, target), bb_key(pc, false, target));
+    }
+
+    /// The filter's confidence is always the sum of three 3-bit counters
+    /// and the train/allow cycle never panics or over/underflows.
+    #[test]
+    fn filter_counters_bounded(
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 0..500),
+    ) {
+        let mut f = PerLoadFilter::new(2048, 3);
+        for (h, useful) in ops {
+            f.train(h & 0x3ff, useful);
+            let c = f.confidence(h & 0x3ff);
+            prop_assert!(c <= 21);
+            let _ = f.allow(h & 0x3ff);
+        }
+    }
+
+    /// Storage accounting scales monotonically with table entries.
+    #[test]
+    fn storage_monotone(shift in 4u32..10) {
+        let small = BFetchConfig::baseline()
+            .with_table_entries(1 << shift)
+            .storage_report()
+            .total_kb();
+        let big = BFetchConfig::baseline()
+            .with_table_entries(1 << (shift + 1))
+            .storage_report()
+            .total_kb();
+        prop_assert!(big > small);
+    }
+}

@@ -1,0 +1,166 @@
+//! Programs: instruction sequences plus initial data images.
+
+use crate::inst::Inst;
+use crate::mem::SparseMemory;
+
+/// Base byte address at which code is laid out (for I-cache modelling and
+/// PC hashing). Data segments must live below or well above this.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Encoded instruction size in bytes (fixed-width, RISC style).
+pub const INST_BYTES: u64 = 4;
+
+/// A complete program: instruction stream, name, and initial data image.
+///
+/// Instruction indices are the canonical "location" unit; byte PCs (as seen
+/// by predictors and prefetchers) are derived with [`Program::pc_addr`].
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    data: Vec<(u64, Vec<u64>)>,
+}
+
+impl Program {
+    /// Creates a program from parts. Prefer [`ProgramBuilder`](crate::ProgramBuilder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>, data: Vec<(u64, Vec<u64>)>) -> Self {
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.branch_target() {
+                assert!(
+                    t < insts.len(),
+                    "instruction {i} ({inst}) targets out-of-range index {t}"
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            insts,
+            data,
+        }
+    }
+
+    /// The program's name (workload identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn inst(&self, idx: usize) -> Inst {
+        self.insts[idx]
+    }
+
+    /// The instruction at `idx`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<Inst> {
+        self.insts.get(idx).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All instructions, in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Byte PC of the instruction at `idx`.
+    #[inline]
+    pub fn pc_addr(&self, idx: usize) -> u64 {
+        CODE_BASE + (idx as u64) * INST_BYTES
+    }
+
+    /// Inverse of [`Program::pc_addr`].
+    #[inline]
+    pub fn addr_to_idx(&self, pc: u64) -> usize {
+        ((pc - CODE_BASE) / INST_BYTES) as usize
+    }
+
+    /// Initial data segments `(base address, words)`.
+    pub fn data(&self) -> &[(u64, Vec<u64>)] {
+        &self.data
+    }
+
+    /// Materializes the initial data image into `mem`.
+    pub fn load_data(&self, mem: &mut SparseMemory) {
+        for (base, words) in &self.data {
+            mem.store_words(*base, words);
+        }
+    }
+
+    /// Count of static conditional branches (useful for predictor sizing
+    /// sanity checks).
+    pub fn cond_branch_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_cond_branch()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn tiny() -> Program {
+        Program::new(
+            "tiny",
+            vec![
+                Inst::LoadImm {
+                    rd: Reg::R1,
+                    imm: 1,
+                },
+                Inst::Beq {
+                    ra: Reg::R1,
+                    rb: Reg::R0,
+                    target: 0,
+                },
+                Inst::Halt,
+            ],
+            vec![(0x1000, vec![9, 8])],
+        )
+    }
+
+    #[test]
+    fn pc_mapping_round_trips() {
+        let p = tiny();
+        for idx in 0..p.len() {
+            assert_eq!(p.addr_to_idx(p.pc_addr(idx)), idx);
+        }
+        assert_eq!(p.pc_addr(0), CODE_BASE);
+        assert_eq!(p.pc_addr(1), CODE_BASE + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_wild_branch_target() {
+        Program::new("bad", vec![Inst::Jmp { target: 10 }], vec![]);
+    }
+
+    #[test]
+    fn data_image_loads() {
+        let p = tiny();
+        let mut m = SparseMemory::new();
+        p.load_data(&mut m);
+        assert_eq!(m.load(0x1000), 9);
+        assert_eq!(m.load(0x1008), 8);
+    }
+
+    #[test]
+    fn counts_cond_branches() {
+        assert_eq!(tiny().cond_branch_count(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Set-associative cache with prefetch metadata.
+
+use crate::{line_of, LINE_BYTES};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a config; geometry is validated by [`SetAssocCache::new`].
+    pub fn new(size_bytes: u64, ways: usize, latency: u64) -> Self {
+        Self {
+            size_bytes,
+            ways,
+            latency,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / LINE_BYTES) as usize / self.ways
+    }
+}
+
+/// Per-line metadata carried for the per-load filter (Section IV-B3): a
+/// prefetched bit, a used bit, and a 10-bit hash of the load PC that
+/// triggered the prefetch — plus a dirty bit for writeback accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// The line was installed by a prefetch.
+    pub prefetched: bool,
+    /// The line has been touched by a demand access since install.
+    pub used: bool,
+    /// 10-bit hash of the originating load PC (0 when not a prefetch).
+    pub pc_hash: u16,
+    /// The line holds store data not yet written back.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64, // full line address
+    stamp: u64,
+    meta: LineMeta,
+    valid: bool,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        stamp: 0,
+        meta: LineMeta {
+            prefetched: false,
+            used: false,
+            pc_hash: 0,
+            dirty: false,
+        },
+        valid: false,
+    };
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed by prefetches.
+    pub prefetch_fills: u64,
+    /// Prefetched lines evicted without ever being demanded.
+    pub prefetch_evicted_unused: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in `[0, 1]`; 0 when no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU-replacement cache over 64 B lines.
+///
+/// Timing lives in the [`hierarchy`](crate::hierarchy); this type tracks
+/// presence, replacement and prefetch metadata only.
+///
+/// # Example
+///
+/// ```
+/// use bfetch_mem::{SetAssocCache, CacheConfig, LineMeta};
+/// let mut l1 = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
+/// assert!(l1.access(0x1000).is_none()); // cold miss
+/// l1.insert(0x1000, LineMeta::default());
+/// assert!(l1.access(0x1000).is_some()); // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>, // sets * ways, set-major
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// The result of inserting a line: the evicted victim's line address and
+/// metadata, if a valid line was displaced.
+pub type Evicted = Option<(u64, LineMeta)>;
+
+impl SetAssocCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry yields a power-of-two, nonzero set count.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.ways > 0, "associativity must be nonzero");
+        Self {
+            cfg,
+            sets,
+            lines: vec![Line::INVALID; sets * cfg.ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = ((line / LINE_BYTES) as usize) & (self.sets - 1);
+        let base = set * self.cfg.ways;
+        base..base + self.cfg.ways
+    }
+
+    /// Demand lookup. On hit, refreshes LRU, marks the line used, and
+    /// returns the line's metadata *as it was before* this access (so the
+    /// caller can detect the first use of a prefetched line).
+    pub fn access(&mut self, addr: u64) -> Option<LineMeta> {
+        let line = line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line {
+                let before = l.meta;
+                l.stamp = tick;
+                l.meta.used = true;
+                self.stats.hits += 1;
+                return Some(before);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Presence probe without LRU, metadata or statistics side effects.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = line_of(addr);
+        let range = self.set_range(line);
+        self.lines[range].iter().any(|l| l.valid && l.tag == line)
+    }
+
+    /// Installs `addr`'s line with `meta`, evicting the LRU victim if the
+    /// set is full. Returns the victim, if any.
+    pub fn insert(&mut self, addr: u64, meta: LineMeta) -> Evicted {
+        let line = line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        if meta.prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let range = self.set_range(line);
+        // already present: refresh
+        for l in &mut self.lines[range.clone()] {
+            if l.valid && l.tag == line {
+                l.stamp = tick;
+                return None;
+            }
+        }
+        // free way
+        for l in &mut self.lines[range.clone()] {
+            if !l.valid {
+                *l = Line {
+                    tag: line,
+                    stamp: tick,
+                    meta,
+                    valid: true,
+                };
+                return None;
+            }
+        }
+        // evict LRU
+        let victim_idx = range
+            .clone()
+            .min_by_key(|&i| self.lines[i].stamp)
+            .expect("nonempty set");
+        let victim = self.lines[victim_idx];
+        if victim.meta.prefetched && !victim.meta.used {
+            self.stats.prefetch_evicted_unused += 1;
+        }
+        self.lines[victim_idx] = Line {
+            tag: line,
+            stamp: tick,
+            meta,
+            valid: true,
+        };
+        Some((victim.tag, victim.meta))
+    }
+
+    /// Marks `addr`'s line dirty if present (store hit).
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let line = line_of(addr);
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line {
+                l.meta.dirty = true;
+                return;
+            }
+        }
+    }
+
+    /// Invalidates `addr`'s line if present, returning its metadata.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineMeta> {
+        let line = line_of(addr);
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line {
+                l.valid = false;
+                return Some(l.meta);
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (for occupancy checks in tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B
+        SetAssocCache::new(CacheConfig::new(512, 2, 1))
+    }
+
+    #[test]
+    fn miss_then_hit_after_insert() {
+        let mut c = small();
+        assert!(c.access(0x1000).is_none());
+        c.insert(0x1000, LineMeta::default());
+        assert!(c.access(0x1000).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_word_hits() {
+        let mut c = small();
+        c.insert(0x1000, LineMeta::default());
+        assert!(c.access(0x103f).is_some());
+        assert!(c.access(0x1040).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small(); // 4 sets => set stride 256
+                             // three lines mapping to the same set (stride = sets * 64 = 256)
+        c.insert(0x0, LineMeta::default());
+        c.insert(0x100, LineMeta::default());
+        c.access(0x0); // make 0x0 MRU
+        c.insert(0x200, LineMeta::default()); // evicts 0x100
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn first_use_of_prefetched_line_visible_once() {
+        let mut c = small();
+        c.insert(
+            0x40,
+            LineMeta {
+                prefetched: true,
+                used: false,
+                pc_hash: 0x2aa,
+                dirty: false,
+            },
+        );
+        let first = c.access(0x40).unwrap();
+        assert!(first.prefetched && !first.used);
+        assert_eq!(first.pc_hash, 0x2aa);
+        let second = c.access(0x40).unwrap();
+        assert!(second.used, "used bit sticks after first touch");
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counted() {
+        let mut c = small();
+        c.insert(
+            0x0,
+            LineMeta {
+                prefetched: true,
+                used: false,
+                pc_hash: 1,
+                dirty: false,
+            },
+        );
+        c.insert(0x100, LineMeta::default());
+        let victim = c.insert(0x200, LineMeta::default());
+        let (vaddr, vmeta) = victim.expect("someone was evicted");
+        assert_eq!(vaddr, 0x0);
+        assert!(vmeta.prefetched && !vmeta.used);
+        assert_eq!(c.stats().prefetch_evicted_unused, 1);
+    }
+
+    #[test]
+    fn used_prefetch_eviction_not_counted_useless() {
+        let mut c = small();
+        c.insert(
+            0x0,
+            LineMeta {
+                prefetched: true,
+                used: false,
+                pc_hash: 1,
+                dirty: false,
+            },
+        );
+        c.access(0x0); // use it
+        c.insert(0x100, LineMeta::default());
+        c.insert(0x200, LineMeta::default());
+        assert_eq!(c.stats().prefetch_evicted_unused, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = small();
+        c.insert(0x0, LineMeta::default());
+        assert!(c.insert(0x0, LineMeta::default()).is_none());
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(0x0, LineMeta::default());
+        assert!(c.invalidate(0x0).is_some());
+        assert!(!c.probe(0x0));
+        assert!(c.invalidate(0x0).is_none());
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut c = small();
+        c.insert(0x0, LineMeta::default());
+        let s = *c.stats();
+        assert!(c.probe(0x0));
+        assert_eq!(*c.stats(), s);
+    }
+
+    #[test]
+    fn table_ii_geometries_valid() {
+        // 64KB 8-way, 256KB 8-way, 2MB 16-way
+        SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
+        SetAssocCache::new(CacheConfig::new(256 * 1024, 8, 10));
+        SetAssocCache::new(CacheConfig::new(2 * 1024 * 1024, 16, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        SetAssocCache::new(CacheConfig::new(192, 1, 1));
+    }
+}

@@ -1,0 +1,792 @@
+//! The multi-level CMP memory hierarchy.
+//!
+//! Per-core L1I/L1D/L2 backed by a shared L3 and a bandwidth-limited DRAM
+//! channel (Table II). Fills are installed when they *complete*, not when
+//! they are requested, so prefetch timeliness is modelled: a late prefetch
+//! only shaves the remaining fill latency off the demand access that merges
+//! with it in the MSHRs.
+
+use crate::cache::{CacheConfig, LineMeta, SetAssocCache};
+use crate::dram::{Dram, DramConfig};
+use crate::line_of;
+use crate::mshr::{MshrFile, MshrOutcome};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-core physical address stride: workloads on different cores occupy
+/// disjoint physical ranges, standing in for per-process address spaces.
+pub const CORE_ADDR_STRIDE: u64 = 1 << 40;
+
+/// The kind of demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I side).
+    InstFetch,
+    /// Data load.
+    Load,
+    /// Data store (write-allocate; writebacks are not timed).
+    Store,
+}
+
+/// Which level serviced a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Shared LLC hit.
+    L3,
+    /// Went to memory.
+    Dram,
+    /// Merged with an in-flight miss (possibly a late prefetch).
+    InFlight,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycle at which the data is available to the pipeline.
+    pub complete_at: u64,
+    /// Level that serviced the access.
+    pub level: HitLevel,
+}
+
+impl AccessOutcome {
+    /// Whether the access was an L1 hit.
+    pub fn l1_hit(&self) -> bool {
+        self.level == HitLevel::L1
+    }
+}
+
+/// Usefulness feedback for a previously issued prefetch, consumed by the
+/// B-Fetch per-load filter (Section IV-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchFeedback {
+    /// Core whose L1D produced the event.
+    pub core: usize,
+    /// 10-bit hash of the load PC that triggered the prefetch.
+    pub pc_hash: u16,
+    /// `true` if a demand access touched the prefetched line; `false` if it
+    /// was evicted untouched.
+    pub useful: bool,
+}
+
+/// Per-core memory statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Demand loads observed at L1D.
+    pub loads: u64,
+    /// Demand stores observed at L1D.
+    pub stores: u64,
+    /// Instruction fetch lines observed at L1I.
+    pub inst_fetches: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L1D demand hits.
+    pub l1d_hits: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// Demand accesses that merged with an in-flight fill.
+    pub mshr_merges: u64,
+    /// L2 demand hits (data side).
+    pub l2_hits: u64,
+    /// Shared L3 demand hits (data side).
+    pub l3_hits: u64,
+    /// DRAM line requests (demand, data side).
+    pub dram_reqs: u64,
+    /// Prefetches issued into the hierarchy.
+    pub prefetch_issued: u64,
+    /// Prefetches dropped as redundant (already cached or in flight).
+    pub prefetch_redundant: u64,
+    /// Prefetched lines first-touched by a demand access.
+    pub prefetch_useful: u64,
+    /// Prefetched lines evicted untouched.
+    pub prefetch_useless: u64,
+    /// Useful prefetches that were still in flight when demanded.
+    pub prefetch_late: u64,
+    /// Prefetches dropped to preserve MSHR capacity for demand misses.
+    pub prefetch_mshr_drops: u64,
+    /// Dirty-line writebacks that reached DRAM (writeback modelling only).
+    pub writebacks: u64,
+}
+
+impl MemStats {
+    /// Demand accesses to L1D.
+    pub fn l1d_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Field-wise difference `self − earlier` (for measuring a window of a
+    /// longer run, e.g. after warmup).
+    pub fn delta(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            inst_fetches: self.inst_fetches - earlier.inst_fetches,
+            l1i_misses: self.l1i_misses - earlier.l1i_misses,
+            l1d_hits: self.l1d_hits - earlier.l1d_hits,
+            l1d_misses: self.l1d_misses - earlier.l1d_misses,
+            mshr_merges: self.mshr_merges - earlier.mshr_merges,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l3_hits: self.l3_hits - earlier.l3_hits,
+            dram_reqs: self.dram_reqs - earlier.dram_reqs,
+            prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
+            prefetch_redundant: self.prefetch_redundant - earlier.prefetch_redundant,
+            prefetch_useful: self.prefetch_useful - earlier.prefetch_useful,
+            prefetch_useless: self.prefetch_useless - earlier.prefetch_useless,
+            prefetch_late: self.prefetch_late - earlier.prefetch_late,
+            prefetch_mshr_drops: self.prefetch_mshr_drops - earlier.prefetch_mshr_drops,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Fraction of issued prefetches that proved useful, in `[0, 1]`.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let judged = self.prefetch_useful + self.prefetch_useless;
+        if judged == 0 {
+            0.0
+        } else {
+            self.prefetch_useful as f64 / judged as f64
+        }
+    }
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores sharing the L3.
+    pub cores: usize,
+    /// Per-core instruction cache.
+    pub l1i: CacheConfig,
+    /// Per-core data cache.
+    pub l1d: CacheConfig,
+    /// Per-core unified L2.
+    pub l2: CacheConfig,
+    /// Shared LLC (*total* capacity, already multiplied by core count).
+    pub l3: CacheConfig,
+    /// DRAM controller parameters.
+    pub dram: DramConfig,
+    /// L1D demand MSHR entries per core.
+    pub l1d_mshrs: usize,
+    /// Per-core prefetch buffer entries (outstanding prefetch fills; a
+    /// separate pool so speculative traffic can never starve demand
+    /// misses, and vice versa).
+    pub prefetch_buffers: usize,
+    /// Model dirty-line writebacks: evicted dirty lines cascade down the
+    /// hierarchy and LLC writebacks consume DRAM channel bandwidth.
+    /// Default off (the recorded experiments use the paper's
+    /// read-traffic-only model).
+    pub model_writebacks: bool,
+}
+
+impl HierarchyConfig {
+    /// The Table II baseline for `cores` cores: 64 KB/8-way L1s (2 cycles),
+    /// 256 KB/8-way L2 (10 cycles), 2 MB/core 16-way shared L3 (20 cycles),
+    /// 200-cycle DRAM at 12.8 GB/s.
+    pub fn baseline(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Self {
+            cores,
+            l1i: CacheConfig::new(64 * 1024, 8, 2),
+            l1d: CacheConfig::new(64 * 1024, 8, 2),
+            l2: CacheConfig::new(256 * 1024, 8, 10),
+            l3: CacheConfig::new(2 * 1024 * 1024 * cores as u64, 16, 20),
+            dram: DramConfig::baseline(),
+            l1d_mshrs: 4,
+            prefetch_buffers: 32,
+            model_writebacks: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    complete_at: u64,
+    core: usize,
+    phys: u64,
+    meta: LineMeta,
+    fill_l2: bool,
+    fill_l3: bool,
+    is_inst: bool,
+}
+
+/// The chip's memory system: all caches, MSHRs and DRAM, advanced by the
+/// timestamps the timing cores pass in (which must be non-decreasing per
+/// call site within a run).
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: HierarchyConfig,
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    dram: Dram,
+    mshr: Vec<MshrFile>,
+    pf_mshr: Vec<MshrFile>,
+    fills: BinaryHeap<Reverse<(u64, u64)>>, // (complete_at, id)
+    fill_data: Vec<Option<PendingFill>>,
+    feedback: Vec<PrefetchFeedback>,
+    stats: Vec<MemStats>,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cache geometry or a zero core count.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        Self {
+            l1i: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1i))
+                .collect(),
+            l1d: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1d))
+                .collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            l3: SetAssocCache::new(cfg.l3),
+            dram: Dram::new(cfg.dram),
+            mshr: (0..cfg.cores)
+                .map(|_| MshrFile::new(cfg.l1d_mshrs))
+                .collect(),
+            pf_mshr: (0..cfg.cores)
+                .map(|_| MshrFile::new(cfg.prefetch_buffers))
+                .collect(),
+            fills: BinaryHeap::new(),
+            fill_data: Vec::new(),
+            feedback: Vec::new(),
+            stats: vec![MemStats::default(); cfg.cores],
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self, core: usize) -> &MemStats {
+        &self.stats[core]
+    }
+
+    /// The shared DRAM controller (for utilization reporting).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The shared L3 (for occupancy/statistics inspection).
+    pub fn l3(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Drains and returns pending prefetch-usefulness feedback events.
+    pub fn take_feedback(&mut self) -> Vec<PrefetchFeedback> {
+        std::mem::take(&mut self.feedback)
+    }
+
+    #[inline]
+    fn translate(core: usize, addr: u64) -> u64 {
+        addr.wrapping_add(core as u64 * CORE_ADDR_STRIDE)
+    }
+
+    fn schedule_fill(&mut self, fill: PendingFill) {
+        let id = self.fill_data.len() as u64;
+        self.fill_data.push(Some(fill));
+        self.fills.push(Reverse((fill.complete_at, id)));
+    }
+
+    /// Installs every fill that has completed by `now` and retires the
+    /// corresponding MSHR entries.
+    pub fn drain(&mut self, now: u64) {
+        while let Some(&Reverse((t, id))) = self.fills.peek() {
+            if t > now {
+                break;
+            }
+            self.fills.pop();
+            let fill = self.fill_data[id as usize].take().expect("fill present");
+            let core = fill.core;
+            if fill.fill_l3 {
+                let v3 = self.l3.insert(fill.phys, LineMeta::default());
+                self.dirty_l3_victim(core, v3, fill.complete_at);
+            }
+            if fill.fill_l2 {
+                let v2 = self.l2[core].insert(fill.phys, LineMeta::default());
+                self.dirty_l2_victim(core, v2, fill.complete_at);
+            }
+            let evicted = if fill.is_inst {
+                self.l1i[core].insert(fill.phys, LineMeta::default())
+            } else {
+                self.l1d[core].insert(fill.phys, fill.meta)
+            };
+            if let Some((vaddr, vmeta)) = evicted {
+                if vmeta.prefetched && !vmeta.used {
+                    self.stats[core].prefetch_useless += 1;
+                    self.feedback.push(PrefetchFeedback {
+                        core,
+                        pc_hash: vmeta.pc_hash,
+                        useful: false,
+                    });
+                }
+                if self.cfg.model_writebacks && vmeta.dirty && !fill.is_inst {
+                    self.writeback(core, vaddr, fill.complete_at);
+                }
+            }
+            self.mshr[core].expire(now.min(fill.complete_at));
+            self.pf_mshr[core].expire(now.min(fill.complete_at));
+        }
+        for m in &mut self.mshr {
+            m.expire(now);
+        }
+        for m in &mut self.pf_mshr {
+            m.expire(now);
+        }
+    }
+
+    /// Walks L2 → L3 → DRAM starting the lookup at `start` and returns
+    /// `(complete_at, level, fill_l2, fill_l3)`.
+    fn lower_levels(
+        &mut self,
+        core: usize,
+        phys: u64,
+        start: u64,
+        demand: bool,
+    ) -> (u64, HitLevel, bool, bool) {
+        let t_l2 = start + self.cfg.l2.latency;
+        let l2_hit = if demand {
+            self.l2[core].access(phys).is_some()
+        } else {
+            let hit = self.l2[core].probe(phys);
+            if hit {
+                // refresh LRU without polluting demand stats
+                self.l2[core].insert(phys, LineMeta::default());
+            }
+            hit
+        };
+        if l2_hit {
+            if demand {
+                self.stats[core].l2_hits += 1;
+            }
+            return (t_l2, HitLevel::L2, false, false);
+        }
+        let t_l3 = t_l2 + self.cfg.l3.latency;
+        let l3_hit = if demand {
+            self.l3.access(phys).is_some()
+        } else {
+            let hit = self.l3.probe(phys);
+            if hit {
+                self.l3.insert(phys, LineMeta::default());
+            }
+            hit
+        };
+        if l3_hit {
+            if demand {
+                self.stats[core].l3_hits += 1;
+            }
+            return (t_l3, HitLevel::L3, true, false);
+        }
+        if demand {
+            self.stats[core].dram_reqs += 1;
+        }
+        let done = self.dram.request(line_of(phys), t_l3);
+        (done, HitLevel::Dram, true, true)
+    }
+
+    /// Performs a demand access for `core` at cycle `now`.
+    ///
+    /// Timestamps must be non-decreasing across calls for a given run.
+    pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
+        self.drain(now);
+        let phys = Self::translate(core, addr);
+        let line = line_of(phys);
+        let is_inst = kind == AccessKind::InstFetch;
+        match kind {
+            AccessKind::InstFetch => self.stats[core].inst_fetches += 1,
+            AccessKind::Load => self.stats[core].loads += 1,
+            AccessKind::Store => self.stats[core].stores += 1,
+        }
+
+        let l1 = if is_inst {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
+        let l1_latency = if is_inst {
+            self.cfg.l1i.latency
+        } else {
+            self.cfg.l1d.latency
+        };
+        if let Some(before) = l1.access(phys) {
+            if kind == AccessKind::Store && self.cfg.model_writebacks {
+                l1.mark_dirty(phys);
+            }
+            if !is_inst {
+                self.stats[core].l1d_hits += 1;
+                if before.prefetched && !before.used {
+                    self.stats[core].prefetch_useful += 1;
+                    self.feedback.push(PrefetchFeedback {
+                        core,
+                        pc_hash: before.pc_hash,
+                        useful: true,
+                    });
+                }
+            }
+            return AccessOutcome {
+                complete_at: now + l1_latency,
+                level: HitLevel::L1,
+            };
+        }
+        if is_inst {
+            self.stats[core].l1i_misses += 1;
+        } else {
+            self.stats[core].l1d_misses += 1;
+        }
+
+        // merge with an outstanding demand miss?
+        if let Some((complete_at, _, _)) = self.mshr[core].lookup(line) {
+            self.stats[core].mshr_merges += 1;
+            return AccessOutcome {
+                complete_at: complete_at.max(now + l1_latency),
+                level: HitLevel::InFlight,
+            };
+        }
+        // merge with an in-flight prefetch? (a *late* prefetch — only the
+        // first merging demand scores it; the entry is then promoted)
+        if let Some((complete_at, was_prefetch, pc_hash)) = self.pf_mshr[core].lookup(line) {
+            self.stats[core].mshr_merges += 1;
+            if was_prefetch && !is_inst {
+                self.stats[core].prefetch_useful += 1;
+                self.stats[core].prefetch_late += 1;
+                self.feedback.push(PrefetchFeedback {
+                    core,
+                    pc_hash,
+                    useful: true,
+                });
+                self.pf_mshr[core].promote_to_demand(line);
+                // the eventual fill must not double-report
+                for f in self.fill_data.iter_mut().flatten() {
+                    if f.core == core && line_of(f.phys) == line {
+                        f.meta.used = true;
+                    }
+                }
+            }
+            return AccessOutcome {
+                complete_at: complete_at.max(now + l1_latency),
+                level: HitLevel::InFlight,
+            };
+        }
+        match self.mshr[core].request(line, now) {
+            MshrOutcome::Merged { .. } => unreachable!("lookup checked above"),
+            MshrOutcome::Allocated { start_at } => {
+                let (done, level, fill_l2, fill_l3) =
+                    self.lower_levels(core, phys, start_at + l1_latency, true);
+                self.mshr[core].fill_scheduled(line, done, false, 0);
+                self.schedule_fill(PendingFill {
+                    complete_at: done,
+                    core,
+                    phys,
+                    meta: LineMeta {
+                        prefetched: false,
+                        used: true,
+                        pc_hash: 0,
+                        dirty: kind == AccessKind::Store,
+                    },
+                    fill_l2,
+                    fill_l3,
+                    is_inst,
+                });
+                AccessOutcome {
+                    complete_at: done,
+                    level,
+                }
+            }
+        }
+    }
+
+    /// Pushes a dirty line evicted from an L1D down one level; dirty lines
+    /// falling out of the LLC consume DRAM channel bandwidth.
+    fn writeback(&mut self, core: usize, line_addr: u64, now: u64) {
+        let dirty = LineMeta {
+            dirty: true,
+            used: true,
+            ..LineMeta::default()
+        };
+        if self.l2[core].probe(line_addr) {
+            self.l2[core].mark_dirty(line_addr);
+        } else {
+            let v2 = self.l2[core].insert(line_addr, dirty);
+            self.dirty_l2_victim(core, v2, now);
+        }
+    }
+
+    /// Handles a (possibly dirty) L2 victim: dirty lines move to the L3.
+    fn dirty_l2_victim(&mut self, core: usize, victim: Option<(u64, LineMeta)>, now: u64) {
+        let Some((vaddr, vmeta)) = victim else { return };
+        if !vmeta.dirty {
+            return;
+        }
+        if self.l3.probe(vaddr) {
+            self.l3.mark_dirty(vaddr);
+        } else {
+            let dirty = LineMeta {
+                dirty: true,
+                used: true,
+                ..LineMeta::default()
+            };
+            let v3 = self.l3.insert(vaddr, dirty);
+            self.dirty_l3_victim(core, v3, now);
+        }
+    }
+
+    /// Handles a (possibly dirty) L3 victim: dirty lines are written back
+    /// to DRAM, consuming channel bandwidth.
+    fn dirty_l3_victim(&mut self, core: usize, victim: Option<(u64, LineMeta)>, now: u64) {
+        if let Some((vaddr, vmeta)) = victim {
+            if vmeta.dirty {
+                self.stats[core].writebacks += 1;
+                self.dram.request(line_of(vaddr), now);
+            }
+        }
+    }
+
+    /// Issues a prefetch of `addr` into `core`'s L1D, tagged with the 10-bit
+    /// originating-load-PC hash. Returns the fill completion cycle, or
+    /// `None` if the prefetch was dropped as redundant.
+    pub fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
+        self.drain(now);
+        let phys = Self::translate(core, addr);
+        let line = line_of(phys);
+        self.stats[core].prefetch_issued += 1;
+        if self.l1d[core].probe(phys)
+            || self.mshr[core].contains(line)
+            || self.pf_mshr[core].contains(line)
+        {
+            self.stats[core].prefetch_redundant += 1;
+            return None;
+        }
+        // the prefetch buffer pool is bounded: drop rather than queue so
+        // stale speculative requests never pile up
+        if self.pf_mshr[core].free() == 0 {
+            self.stats[core].prefetch_mshr_drops += 1;
+            return None;
+        }
+        let start_at = match self.pf_mshr[core].request(line, now) {
+            MshrOutcome::Allocated { start_at } => start_at,
+            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
+        };
+        let (done, _level, fill_l2, fill_l3) =
+            self.lower_levels(core, phys, start_at + self.cfg.l1d.latency, false);
+        self.pf_mshr[core].fill_scheduled(line, done, true, pc_hash & 0x3ff);
+        self.schedule_fill(PendingFill {
+            complete_at: done,
+            core,
+            phys,
+            meta: LineMeta {
+                prefetched: true,
+                used: false,
+                pc_hash: pc_hash & 0x3ff,
+                dirty: false,
+            },
+            fill_l2,
+            fill_l3,
+            is_inst: false,
+        });
+        Some(done)
+    }
+
+    /// Issues an *instruction* prefetch of `addr` into `core`'s L1I (the
+    /// paper's future-work direction: reusing the lookahead path for
+    /// instruction prefetching). Shares the prefetch buffer pool with data
+    /// prefetches. Returns the fill completion cycle, or `None` if dropped.
+    pub fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64> {
+        self.drain(now);
+        let phys = Self::translate(core, addr);
+        let line = line_of(phys);
+        self.stats[core].prefetch_issued += 1;
+        if self.l1i[core].probe(phys)
+            || self.mshr[core].contains(line)
+            || self.pf_mshr[core].contains(line)
+        {
+            self.stats[core].prefetch_redundant += 1;
+            return None;
+        }
+        if self.pf_mshr[core].free() == 0 {
+            self.stats[core].prefetch_mshr_drops += 1;
+            return None;
+        }
+        let start_at = match self.pf_mshr[core].request(line, now) {
+            MshrOutcome::Allocated { start_at } => start_at,
+            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
+        };
+        let (done, _level, fill_l2, fill_l3) =
+            self.lower_levels(core, phys, start_at + self.cfg.l1i.latency, false);
+        self.pf_mshr[core].fill_scheduled(line, done, true, 0);
+        self.schedule_fill(PendingFill {
+            complete_at: done,
+            core,
+            phys,
+            meta: LineMeta::default(),
+            fill_l2,
+            fill_l3,
+            is_inst: true,
+        });
+        Some(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::baseline(cores))
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_with_full_latency() {
+        let mut m = sys(1);
+        let out = m.access(0, AccessKind::Load, 0x10_0000, 0);
+        assert_eq!(out.level, HitLevel::Dram);
+        // 2 (L1) + 10 (L2) + 20 (L3) + 200 (DRAM)
+        assert_eq!(out.complete_at, 232);
+    }
+
+    #[test]
+    fn fill_installs_only_after_completion() {
+        let mut m = sys(1);
+        let miss = m.access(0, AccessKind::Load, 0x10_0000, 0);
+        // before the fill lands, another access merges in-flight
+        let merged = m.access(0, AccessKind::Load, 0x10_0000, 10);
+        assert_eq!(merged.level, HitLevel::InFlight);
+        assert_eq!(merged.complete_at, miss.complete_at);
+        // after the fill lands, it's an L1 hit
+        let hit = m.access(0, AccessKind::Load, 0x10_0000, miss.complete_at + 1);
+        assert_eq!(hit.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = sys(1);
+        let done = m.access(0, AccessKind::Load, 0x10_0000, 0).complete_at;
+        let mut now = done + 1;
+        // blow the line out of L1D (64KB, 8-way, 128 sets): 9 conflicting
+        // lines at 8KB stride map to the same set.
+        for i in 1..=16u64 {
+            let out = m.access(0, AccessKind::Load, 0x10_0000 + i * 8 * 1024, now);
+            now = out.complete_at + 1;
+        }
+        let out = m.access(0, AccessKind::Load, 0x10_0000, now);
+        assert_eq!(out.level, HitLevel::L2);
+        assert_eq!(out.complete_at, now + 2 + 10);
+    }
+
+    #[test]
+    fn prefetch_then_demand_is_useful_l1_hit() {
+        let mut m = sys(1);
+        let fill = m.prefetch(0, 0x20_0000, 0x155, 0).expect("accepted");
+        let out = m.access(0, AccessKind::Load, 0x20_0000, fill + 5);
+        assert_eq!(out.level, HitLevel::L1);
+        assert_eq!(m.stats(0).prefetch_useful, 1);
+        let fb = m.take_feedback();
+        assert_eq!(fb.len(), 1);
+        assert!(fb[0].useful);
+        assert_eq!(fb[0].pc_hash, 0x155);
+    }
+
+    #[test]
+    fn late_prefetch_merges_and_counts_late() {
+        let mut m = sys(1);
+        let fill = m.prefetch(0, 0x20_0000, 7, 0).expect("accepted");
+        let out = m.access(0, AccessKind::Load, 0x20_0000, 50);
+        assert_eq!(out.level, HitLevel::InFlight);
+        assert_eq!(out.complete_at, fill);
+        assert_eq!(m.stats(0).prefetch_late, 1);
+        assert_eq!(m.stats(0).prefetch_useful, 1);
+        // once filled, no double-count of usefulness
+        let _ = m.access(0, AccessKind::Load, 0x20_0000, fill + 1);
+        assert_eq!(m.stats(0).prefetch_useful, 1);
+    }
+
+    #[test]
+    fn redundant_prefetch_dropped() {
+        let mut m = sys(1);
+        let fill = m.prefetch(0, 0x20_0000, 7, 0).unwrap();
+        assert!(m.prefetch(0, 0x20_0000, 7, 1).is_none(), "in-flight dup");
+        assert!(
+            m.prefetch(0, 0x20_0000, 7, fill + 1).is_none(),
+            "cached dup"
+        );
+        assert_eq!(m.stats(0).prefetch_redundant, 2);
+    }
+
+    #[test]
+    fn useless_prefetch_reported_on_eviction() {
+        let mut m = sys(1);
+        let fill = m.prefetch(0, 0x30_0000, 9, 0).unwrap();
+        let mut now = fill + 1;
+        // force eviction of the prefetched (untouched) line
+        for i in 1..=16u64 {
+            let out = m.access(0, AccessKind::Load, 0x30_0000 + i * 8 * 1024, now);
+            now = out.complete_at + 1;
+        }
+        m.drain(now + 1000);
+        assert_eq!(m.stats(0).prefetch_useless, 1);
+        let fb = m.take_feedback();
+        assert!(fb.iter().any(|f| !f.useful && f.pc_hash == 9));
+    }
+
+    #[test]
+    fn cores_do_not_alias_in_private_levels() {
+        let mut m = sys(2);
+        let a = m.access(0, AccessKind::Load, 0x40_0000, 0);
+        let b = m.access(1, AccessKind::Load, 0x40_0000, 0);
+        assert_eq!(a.level, HitLevel::Dram);
+        assert_eq!(b.level, HitLevel::Dram, "same vaddr, different phys");
+    }
+
+    #[test]
+    fn dram_bandwidth_contention_across_cores() {
+        let mut m = sys(2);
+        let a = m.access(0, AccessKind::Load, 0x50_0000, 0).complete_at;
+        let b = m.access(1, AccessKind::Load, 0x50_0000, 0).complete_at;
+        assert_eq!(b - a, 16, "second request queues one line interval");
+    }
+
+    #[test]
+    fn inst_fetches_use_l1i() {
+        let mut m = sys(1);
+        let miss = m.access(0, AccessKind::InstFetch, 0x40_0000, 0);
+        assert_eq!(miss.level, HitLevel::Dram);
+        let hit = m.access(0, AccessKind::InstFetch, 0x40_0000, miss.complete_at + 1);
+        assert_eq!(hit.level, HitLevel::L1);
+        // data side never saw anything
+        assert_eq!(m.stats(0).l1d_accesses(), 0);
+        assert_eq!(m.stats(0).inst_fetches, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = sys(1);
+        let done = m.access(0, AccessKind::Load, 0x1000, 0).complete_at;
+        m.access(0, AccessKind::Store, 0x1000, done + 1);
+        let s = m.stats(0);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.l1d_hits, 1);
+        assert_eq!(s.l1d_misses, 1);
+        assert_eq!(s.dram_reqs, 1);
+    }
+
+    #[test]
+    fn accuracy_metric() {
+        let s = MemStats {
+            prefetch_useful: 3,
+            prefetch_useless: 1,
+            ..MemStats::default()
+        };
+        assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(MemStats::default().prefetch_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Miss status holding registers.
+
+use std::collections::HashMap;
+
+/// Result of consulting the MSHR file for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The line is already in flight; the new request merges and completes
+    /// at the recorded fill time.
+    Merged {
+        /// Cycle the outstanding fill completes.
+        complete_at: u64,
+        /// The in-flight request was a prefetch (a *late* prefetch from the
+        /// demand's perspective).
+        was_prefetch: bool,
+        /// Load-PC hash carried by the in-flight prefetch.
+        pc_hash: u16,
+    },
+    /// A new entry was allocated; the miss may proceed starting at
+    /// `start_at` (delayed past `now` when the file was full).
+    Allocated {
+        /// Earliest cycle the miss may be issued downstream.
+        start_at: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    complete_at: u64,
+    is_prefetch: bool,
+    pc_hash: u16,
+}
+
+/// A bounded file of outstanding line misses.
+///
+/// Secondary misses to an in-flight line merge with the primary. When all
+/// entries are busy, new misses are delayed until the earliest outstanding
+/// fill returns — modelling the structural stall a full MSHR file causes.
+///
+/// # Example
+///
+/// ```
+/// use bfetch_mem::{MshrFile, MshrOutcome};
+/// let mut mshr = MshrFile::new(4);
+/// assert!(matches!(mshr.request(0x40, 10), MshrOutcome::Allocated { start_at: 10 }));
+/// mshr.fill_scheduled(0x40, 242, false, 0);
+/// assert!(matches!(mshr.request(0x40, 50), MshrOutcome::Merged { complete_at: 242, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    merges: u64,
+    full_stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            merges: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Drops entries whose fills have completed by `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|_, e| e.complete_at > now);
+    }
+
+    /// Looks up `line`; merges with an in-flight request or reserves a new
+    /// entry. After an `Allocated` outcome the caller must follow up with
+    /// [`MshrFile::fill_scheduled`] to record the completion time.
+    pub fn request(&mut self, line: u64, now: u64) -> MshrOutcome {
+        if let Some(e) = self.entries.get(&line) {
+            self.merges += 1;
+            return MshrOutcome::Merged {
+                complete_at: e.complete_at,
+                was_prefetch: e.is_prefetch,
+                pc_hash: e.pc_hash,
+            };
+        }
+        let start_at = if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            self.entries
+                .values()
+                .map(|e| e.complete_at)
+                .min()
+                .unwrap_or(now)
+                .max(now)
+        } else {
+            now
+        };
+        MshrOutcome::Allocated { start_at }
+    }
+
+    /// Records that the miss for `line` will fill at `complete_at`.
+    ///
+    /// If the file is full, the entry displacing slot is the one that
+    /// completes earliest (it is guaranteed to have drained by `start_at`).
+    pub fn fill_scheduled(&mut self, line: u64, complete_at: u64, is_prefetch: bool, pc_hash: u16) {
+        if self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.complete_at) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            line,
+            Entry {
+                complete_at,
+                is_prefetch,
+                pc_hash,
+            },
+        );
+    }
+
+    /// Marks the in-flight request for `line` as demanded (no longer purely
+    /// a prefetch), so later merges see it as demand traffic.
+    pub fn promote_to_demand(&mut self, line: u64) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.is_prefetch = false;
+        }
+    }
+
+    /// Whether a request for `line` is currently outstanding.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// The outstanding entry for `line`, if any:
+    /// `(complete_at, is_prefetch, pc_hash)`.
+    pub fn lookup(&self, line: u64) -> Option<(u64, bool, u16)> {
+        self.entries
+            .get(&line)
+            .map(|e| (e.complete_at, e.is_prefetch, e.pc_hash))
+    }
+
+    /// Free entries remaining.
+    pub fn free(&self) -> usize {
+        self.capacity.saturating_sub(self.entries.len())
+    }
+
+    /// Outstanding entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(merges, full_stalls)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.merges, self.full_stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        match m.request(0x40, 10) {
+            MshrOutcome::Allocated { start_at } => assert_eq!(start_at, 10),
+            other => panic!("expected allocation, got {other:?}"),
+        }
+        m.fill_scheduled(0x40, 210, false, 0);
+        match m.request(0x40, 50) {
+            MshrOutcome::Merged {
+                complete_at,
+                was_prefetch,
+                ..
+            } => {
+                assert_eq!(complete_at, 210);
+                assert!(!was_prefetch);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert_eq!(m.stats().0, 1);
+    }
+
+    #[test]
+    fn expire_clears_finished() {
+        let mut m = MshrFile::new(2);
+        m.fill_scheduled(0x0, 100, false, 0);
+        m.fill_scheduled(0x40, 200, false, 0);
+        m.expire(150);
+        assert!(!m.contains(0x0));
+        assert!(m.contains(0x40));
+    }
+
+    #[test]
+    fn full_file_delays_start() {
+        let mut m = MshrFile::new(2);
+        m.fill_scheduled(0x0, 100, false, 0);
+        m.fill_scheduled(0x40, 120, false, 0);
+        match m.request(0x80, 10) {
+            MshrOutcome::Allocated { start_at } => assert_eq!(start_at, 100),
+            other => panic!("expected delayed allocation, got {other:?}"),
+        }
+        assert_eq!(m.stats().1, 1);
+    }
+
+    #[test]
+    fn prefetch_merge_reports_late_prefetch() {
+        let mut m = MshrFile::new(4);
+        m.fill_scheduled(0x40, 300, true, 0x155);
+        match m.request(0x40, 100) {
+            MshrOutcome::Merged {
+                was_prefetch,
+                pc_hash,
+                ..
+            } => {
+                assert!(was_prefetch);
+                assert_eq!(pc_hash, 0x155);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        m.promote_to_demand(0x40);
+        match m.request(0x40, 101) {
+            MshrOutcome::Merged { was_prefetch, .. } => assert!(!was_prefetch),
+            other => panic!("expected merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overfull_insert_displaces_earliest() {
+        let mut m = MshrFile::new(1);
+        m.fill_scheduled(0x0, 100, false, 0);
+        m.fill_scheduled(0x40, 200, false, 0);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the memory substrate.
+
+use bfetch_mem::{AccessKind, CacheConfig, HierarchyConfig, LineMeta, MemorySystem, SetAssocCache};
+use proptest::prelude::*;
+
+proptest! {
+    /// An inserted line is resident until at least `ways` other lines of
+    /// the same set displace it (LRU guarantee).
+    #[test]
+    fn recently_inserted_line_is_resident(addr in 0u64..0x100_0000) {
+        let mut c = SetAssocCache::new(CacheConfig::new(8 * 1024, 4, 1));
+        c.insert(addr, LineMeta::default());
+        prop_assert!(c.probe(addr));
+    }
+
+    /// Whatever sequence of inserts happens, occupancy never exceeds the
+    /// cache's line capacity.
+    #[test]
+    fn occupancy_bounded(addrs in prop::collection::vec(0u64..0x40_0000, 1..300)) {
+        let cfg = CacheConfig::new(4 * 1024, 2, 1); // 64 lines
+        let mut c = SetAssocCache::new(cfg);
+        for a in addrs {
+            c.insert(a, LineMeta::default());
+        }
+        prop_assert!(c.valid_lines() <= 64);
+    }
+
+    /// A hit follows every insert; a second access to the same line is
+    /// always a hit until that set overflows.
+    #[test]
+    fn insert_then_access_hits(addr in 0u64..0x100_0000) {
+        let mut c = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
+        prop_assert!(c.access(addr).is_none());
+        c.insert(addr, LineMeta::default());
+        prop_assert!(c.access(addr).is_some());
+    }
+
+    /// Hierarchy access times are causal: completion is strictly after the
+    /// request, and a repeat access completes no later than a cold one.
+    #[test]
+    fn hierarchy_latency_causal(addr in 0u64..0x1000_0000, gap in 1u64..1000) {
+        let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
+        let first = m.access(0, AccessKind::Load, addr, 0);
+        prop_assert!(first.complete_at > 0);
+        let t2 = first.complete_at + gap;
+        let second = m.access(0, AccessKind::Load, addr, t2);
+        prop_assert!(second.complete_at >= t2);
+        prop_assert!(second.complete_at - t2 <= first.complete_at, "repeat access not slower than cold");
+    }
+
+    /// Demand accesses never lose data availability ordering: completion
+    /// times of a sequence of accesses at increasing timestamps are each
+    /// >= their own request time.
+    #[test]
+    fn monotone_request_stream(addrs in prop::collection::vec(0u64..0x100_0000, 1..60)) {
+        let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
+        let mut now = 0;
+        for a in addrs {
+            let out = m.access(0, AccessKind::Load, a, now);
+            prop_assert!(out.complete_at >= now);
+            now += 3;
+        }
+    }
+
+    /// Prefetch then demand: the demand is never slower than a cold miss
+    /// would have been, and usefulness accounting stays consistent.
+    #[test]
+    fn prefetch_never_hurts_the_same_line(addr in 0u64..0x1000_0000, delay in 0u64..600) {
+        let mut cold = MemorySystem::new(HierarchyConfig::baseline(1));
+        let cold_out = cold.access(0, AccessKind::Load, addr, delay);
+
+        let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
+        m.prefetch(0, addr, 0x7f, 0);
+        let out = m.access(0, AccessKind::Load, addr, delay);
+        prop_assert!(out.complete_at <= cold_out.complete_at);
+        let s = m.stats(0);
+        prop_assert!(s.prefetch_useful <= 1);
+        prop_assert_eq!(s.prefetch_useless, 0);
+    }
+}

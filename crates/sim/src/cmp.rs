@@ -1,0 +1,322 @@
+//! The CMP driver: lockstep multi-core simulation and measurement windows.
+
+use crate::config::SimConfig;
+use crate::core::{Core, CoreCounters};
+use bfetch_core::EngineStats;
+use bfetch_isa::Program;
+use bfetch_mem::{MemStats, MemorySystem};
+
+/// Measured results for one core over its measurement window (after
+/// warmup).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher name.
+    pub prefetcher: &'static str,
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Instructions committed in the window.
+    pub instructions: u64,
+    /// Memory-system statistics over the window.
+    pub mem: MemStats,
+    /// Conditional branches fetched in the window.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches in the window.
+    pub mispredicts: u64,
+    /// Histogram of branches fetched per fetch-active cycle (0..=4).
+    pub branch_fetch_hist: [u64; 5],
+    /// B-Fetch engine statistics (when configured) over the window.
+    pub engine: Option<EngineStats>,
+    /// Off-chip prefetcher meta-data traffic over the window, in bytes
+    /// (nonzero only for heavy-weight prefetchers like ISB).
+    pub pf_metadata_bytes: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle over the measurement window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate in `[0, 1]`.
+    pub fn bp_miss_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    committed: u64,
+    counters: CoreCounters,
+    mem: MemStats,
+    engine: Option<EngineStats>,
+    pf_metadata: u64,
+    cycle: u64,
+}
+
+fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
+    let mut h = [0u64; 5];
+    for i in 0..5 {
+        h[i] = now[i] - then[i];
+    }
+    h
+}
+
+/// Runs `programs` (one per core) under `cfg`, measuring `insts` committed
+/// instructions per core after the configured warmup. Cores that reach
+/// their quota keep executing (continuing to contend for the shared LLC and
+/// DRAM) until every core has finished, as in the paper's multiprogrammed
+/// methodology.
+///
+/// # Panics
+///
+/// Panics if `programs` is empty or the simulation fails to make forward
+/// progress.
+pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
+    assert!(!programs.is_empty(), "need at least one program");
+    assert!(insts > 0, "need a nonzero instruction quota");
+    let n = programs.len();
+    let mut mem = MemorySystem::new(cfg.hierarchy(n));
+    let mut cores: Vec<Core> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Core::new(i, p.clone(), cfg))
+        .collect();
+
+    let mut now: u64 = 0;
+    let hard_cap: u64 = (cfg.warmup_insts + insts) * 600 + 4_000_000;
+
+    // ---- warmup ----
+    loop {
+        for c in cores.iter_mut() {
+            c.cycle(now, &mut mem);
+        }
+        for fb in mem.take_feedback() {
+            cores[fb.core].feedback(fb.pc_hash, fb.useful);
+        }
+        now += 1;
+        if cores
+            .iter()
+            .all(|c| c.counters().committed >= cfg.warmup_insts)
+        {
+            break;
+        }
+        assert!(now < hard_cap, "warmup did not converge");
+    }
+
+    // ---- measurement ----
+    let snaps: Vec<Snapshot> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Snapshot {
+            committed: c.counters().committed,
+            counters: *c.counters(),
+            mem: *mem.stats(i),
+            engine: c.engine().map(|e| *e.stats()),
+            pf_metadata: c.pf_metadata_bytes(),
+            cycle: now,
+        })
+        .collect();
+    let mut finished: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    let mut remaining = n;
+
+    while remaining > 0 {
+        for c in cores.iter_mut() {
+            c.cycle(now, &mut mem);
+        }
+        for fb in mem.take_feedback() {
+            cores[fb.core].feedback(fb.pc_hash, fb.useful);
+        }
+        now += 1;
+        for (i, c) in cores.iter().enumerate() {
+            if finished[i].is_some() {
+                continue;
+            }
+            let snap = &snaps[i];
+            if c.counters().committed - snap.committed >= insts {
+                let counters = c.counters();
+                finished[i] = Some(RunResult {
+                    workload: c.program_name().to_string(),
+                    prefetcher: cfg.prefetcher.name(),
+                    cycles: now - snap.cycle,
+                    instructions: counters.committed - snap.committed,
+                    mem: mem.stats(i).delta(&snap.mem),
+                    cond_branches: counters.cond_branches - snap.counters.cond_branches,
+                    mispredicts: counters.mispredicts - snap.counters.mispredicts,
+                    branch_fetch_hist: hist_delta(
+                        &counters.branch_fetch_hist,
+                        &snap.counters.branch_fetch_hist,
+                    ),
+                    engine: c
+                        .engine()
+                        .map(|e| e.stats().delta(&snap.engine.expect("snapshot taken"))),
+                    pf_metadata_bytes: c.pf_metadata_bytes() - snap.pf_metadata,
+                });
+                remaining -= 1;
+            }
+        }
+        assert!(now < hard_cap, "measurement did not converge");
+    }
+
+    finished
+        .into_iter()
+        .map(|r| r.expect("all finished"))
+        .collect()
+}
+
+/// Runs a single program to `insts` measured instructions.
+pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    run_multi(std::slice::from_ref(program), cfg, insts)
+        .pop()
+        .expect("one result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherKind;
+    use bfetch_isa::{ProgramBuilder, Reg};
+
+    /// A latency-bound streaming kernel: one load per 64 B line plus ~28
+    /// ALU operations of per-line compute, so memory-level parallelism is
+    /// ROB-limited and prefetching genuinely hides latency (a pure
+    /// back-to-back miss stream would be DRAM-bandwidth-bound, where no
+    /// prefetcher can help).
+    fn stream_kernel(words: u64) -> Program {
+        let mut b = ProgramBuilder::new("stream-test");
+        let base = 0x100_0000u64;
+        b.li(Reg::R1, base as i64);
+        b.li(Reg::R2, (base + words * 8) as i64);
+        b.li(Reg::R3, 0);
+        let top = b.label();
+        b.bind(top);
+        b.load(Reg::R4, Reg::R1, 0);
+        for _ in 0..14 {
+            b.add(Reg::R5, Reg::R5, Reg::R4);
+            b.xor(Reg::R6, Reg::R6, Reg::R5);
+        }
+        b.add(Reg::R3, Reg::R3, Reg::R6);
+        b.addi(Reg::R1, Reg::R1, 64);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.finish()
+    }
+
+    fn quick_cfg(kind: PrefetcherKind) -> SimConfig {
+        let mut c = SimConfig::baseline().with_prefetcher(kind);
+        c.warmup_insts = 2_000;
+        c
+    }
+
+    #[test]
+    fn ipc_is_sane() {
+        let p = stream_kernel(64 * 1024);
+        let r = run_single(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        let ipc = r.ipc();
+        assert!(ipc > 0.05 && ipc < 4.0, "baseline IPC {ipc} out of range");
+        assert!(r.instructions >= 20_000);
+    }
+
+    #[test]
+    fn perfect_prefetcher_beats_baseline() {
+        let p = stream_kernel(64 * 1024);
+        let base = run_single(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        let perf = run_single(&p, &quick_cfg(PrefetcherKind::Perfect), 20_000);
+        assert!(
+            perf.ipc() > base.ipc() * 1.3,
+            "perfect {} should clearly beat baseline {}",
+            perf.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn stride_prefetcher_helps_streaming() {
+        let p = stream_kernel(64 * 1024);
+        let base = run_single(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        let stride = run_single(&p, &quick_cfg(PrefetcherKind::Stride), 20_000);
+        assert!(
+            stride.ipc() > base.ipc() * 1.1,
+            "stride {} vs baseline {}",
+            stride.ipc(),
+            base.ipc()
+        );
+        assert!(stride.mem.prefetch_issued > 0);
+        assert!(stride.mem.prefetch_useful > 0);
+    }
+
+    #[test]
+    fn bfetch_helps_streaming() {
+        let p = stream_kernel(64 * 1024);
+        let base = run_single(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        let bf = run_single(&p, &quick_cfg(PrefetcherKind::BFetch), 20_000);
+        let e = bf.engine.expect("engine stats present");
+        assert!(e.lookaheads > 0, "engine never walked: {e:?}");
+        assert!(bf.mem.prefetch_issued > 0, "no prefetches issued: {e:?}");
+        assert!(
+            bf.ipc() > base.ipc() * 1.1,
+            "bfetch {} vs baseline {} ({e:?})",
+            bf.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = stream_kernel(16 * 1024);
+        let a = run_single(&p, &quick_cfg(PrefetcherKind::Sms), 10_000);
+        let b = run_single(&p, &quick_cfg(PrefetcherKind::Sms), 10_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem.prefetch_issued, b.mem.prefetch_issued);
+        assert_eq!(a.mispredicts, b.mispredicts);
+    }
+
+    #[test]
+    fn branch_predictor_learns_the_loop() {
+        let p = stream_kernel(64 * 1024);
+        let r = run_single(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        assert!(
+            r.bp_miss_rate() < 0.05,
+            "loop branch should be predictable, rate {}",
+            r.bp_miss_rate()
+        );
+    }
+
+    #[test]
+    fn two_cores_share_bandwidth() {
+        let p = stream_kernel(64 * 1024);
+        let solo = run_single(&p, &quick_cfg(PrefetcherKind::None), 10_000);
+        let duo = run_multi(
+            &[p.clone(), p.clone()],
+            &quick_cfg(PrefetcherKind::None),
+            10_000,
+        );
+        assert_eq!(duo.len(), 2);
+        for r in &duo {
+            assert!(
+                r.ipc() <= solo.ipc() * 1.05,
+                "shared run cannot beat solo: {} vs {}",
+                r.ipc(),
+                solo.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_histogram_accumulates() {
+        let p = stream_kernel(8 * 1024);
+        let r = run_single(&p, &quick_cfg(PrefetcherKind::None), 5_000);
+        let total: u64 = r.branch_fetch_hist.iter().sum();
+        assert!(total > 0);
+        assert!(r.branch_fetch_hist[1] > 0, "{:?}", r.branch_fetch_hist);
+    }
+}

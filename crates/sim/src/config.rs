@@ -1,0 +1,237 @@
+//! Simulator configuration (Table II).
+
+use bfetch_core::BFetchConfig;
+use bfetch_mem::{CacheConfig, DramConfig, HierarchyConfig};
+use bfetch_prefetch::{SmsConfig, StrideConfig};
+
+/// Which direction predictor a core uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Alpha-21264-style tournament predictor (Table II baseline).
+    Tournament,
+    /// Hashed perceptron (the paper's "state-of-the-art predictor"
+    /// future-work evaluation).
+    Perceptron,
+}
+
+/// Which prefetcher a core runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetcherKind {
+    /// No prefetching (the paper's speedup baseline).
+    None,
+    /// Sequential next-N-lines.
+    NextN(usize),
+    /// Reference-prediction-table stride prefetcher (degree 8).
+    Stride,
+    /// Spatial Memory Streaming.
+    Sms,
+    /// Irregular Stream Buffer (heavy-weight comparison point).
+    Isb,
+    /// B-Fetch (the paper's contribution).
+    BFetch,
+    /// Oracle: every data access completes with L1 latency (Figure 1's
+    /// "Perfect" prefetcher).
+    Perfect,
+}
+
+impl PrefetcherKind {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "baseline",
+            PrefetcherKind::NextN(_) => "next-n",
+            PrefetcherKind::Stride => "stride",
+            PrefetcherKind::Sms => "sms",
+            PrefetcherKind::Isb => "isb",
+            PrefetcherKind::BFetch => "bfetch",
+            PrefetcherKind::Perfect => "perfect",
+        }
+    }
+}
+
+/// Full system configuration. [`SimConfig::baseline`] reproduces Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched/decoded per cycle (Table II: 4-wide).
+    pub fetch_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder buffer entries (Table II: 192).
+    pub rob_entries: usize,
+    /// Load/store ports.
+    pub mem_ports: usize,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Frontend refill penalty after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// Penalty for a taken branch whose target missed in the BTB.
+    pub btb_miss_penalty: u64,
+    /// Branch predictor scale relative to the 6.55 KB baseline
+    /// (Figure 13 sweeps 0.5/1/2/4; tournament only).
+    pub bpred_scale: f64,
+    /// Direction predictor family.
+    pub predictor: PredictorKind,
+    /// The prefetcher to run on every core.
+    pub prefetcher: PrefetcherKind,
+    /// B-Fetch engine geometry and thresholds.
+    pub bfetch: BFetchConfig,
+    /// SMS geometry.
+    pub sms: SmsConfig,
+    /// Stride geometry.
+    pub stride: StrideConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified per-core L2.
+    pub l2: CacheConfig,
+    /// Shared L3 capacity *per core* in bytes (Table II: 2 MB/core).
+    pub l3_bytes_per_core: u64,
+    /// Shared L3 associativity.
+    pub l3_ways: usize,
+    /// Shared L3 latency.
+    pub l3_latency: u64,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// L1D demand MSHR entries.
+    pub l1d_mshrs: usize,
+    /// Outstanding-prefetch buffer entries per core.
+    pub prefetch_buffers: usize,
+    /// Model dirty-line writebacks down to DRAM (off by default; see
+    /// `bfetch-mem`).
+    pub model_writebacks: bool,
+    /// Model store-to-load forwarding through the store queue (off by
+    /// default: loads to an in-flight store's word bypass the cache with a
+    /// 1-cycle forward).
+    pub store_forwarding: bool,
+    /// Prefetches injected into the hierarchy per core per cycle.
+    pub prefetch_issue_per_cycle: usize,
+    /// Instructions committed per core before measurement begins.
+    pub warmup_insts: u64,
+}
+
+impl SimConfig {
+    /// The Table II baseline: 4-wide out-of-order, 192-entry ROB, 64 KB
+    /// L1s (2 cycles), 256 KB L2 (10 cycles), 2 MB/core shared L3
+    /// (20 cycles), 200-cycle DRAM at 12.8 GB/s, tournament predictor,
+    /// path-confidence threshold 0.75, per-load filter threshold 3 — and
+    /// **no prefetching** (the speedup baseline).
+    pub fn baseline() -> Self {
+        Self {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 192,
+            mem_ports: 2,
+            mul_latency: 3,
+            mispredict_penalty: 10,
+            btb_miss_penalty: 2,
+            bpred_scale: 1.0,
+            predictor: PredictorKind::Tournament,
+            prefetcher: PrefetcherKind::None,
+            bfetch: BFetchConfig::baseline(),
+            sms: SmsConfig::baseline(),
+            stride: StrideConfig::baseline(),
+            l1i: CacheConfig::new(64 * 1024, 8, 2),
+            l1d: CacheConfig::new(64 * 1024, 8, 2),
+            l2: CacheConfig::new(256 * 1024, 8, 10),
+            l3_bytes_per_core: 2 * 1024 * 1024,
+            l3_ways: 16,
+            l3_latency: 20,
+            dram: DramConfig::baseline(),
+            l1d_mshrs: 4,
+            prefetch_buffers: 32,
+            model_writebacks: false,
+            store_forwarding: false,
+            prefetch_issue_per_cycle: 2,
+            warmup_insts: 50_000,
+        }
+    }
+
+    /// Baseline with a different prefetcher.
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Baseline with a different pipeline width (Figure 14: 2/4/8-wide).
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width > 0);
+        self.fetch_width = width;
+        self.issue_width = width;
+        self.commit_width = width;
+        self.mem_ports = (width / 2).max(1);
+        self
+    }
+
+    /// The memory hierarchy configuration for `cores` cores.
+    pub fn hierarchy(&self, cores: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            cores,
+            l1i: self.l1i,
+            l1d: self.l1d,
+            l2: self.l2,
+            l3: CacheConfig::new(
+                self.l3_bytes_per_core * cores as u64,
+                self.l3_ways,
+                self.l3_latency,
+            ),
+            dram: self.dram,
+            l1d_mshrs: self.l1d_mshrs,
+            prefetch_buffers: self.prefetch_buffers,
+            model_writebacks: self.model_writebacks,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_ii() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.latency, 2);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.latency, 10);
+        assert_eq!(c.l3_bytes_per_core, 2 * 1024 * 1024);
+        assert_eq!(c.l3_latency, 20);
+        assert_eq!(c.dram.latency, 200);
+        assert_eq!(c.bfetch.confidence_threshold, 0.75);
+        assert_eq!(c.bfetch.filter_threshold, 3);
+        assert_eq!(c.prefetcher, PrefetcherKind::None);
+    }
+
+    #[test]
+    fn width_builder_scales_ports() {
+        let c = SimConfig::baseline().with_width(8);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.mem_ports, 4);
+        let c2 = SimConfig::baseline().with_width(2);
+        assert_eq!(c2.mem_ports, 1);
+    }
+
+    #[test]
+    fn hierarchy_scales_l3_with_cores() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.hierarchy(1).l3.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.hierarchy(4).l3.size_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn prefetcher_names() {
+        assert_eq!(PrefetcherKind::BFetch.name(), "bfetch");
+        assert_eq!(PrefetcherKind::None.name(), "baseline");
+    }
+}

@@ -1,0 +1,827 @@
+//! The cycle-stepped out-of-order core timing model.
+//!
+//! Functional state advances on the correct path at fetch
+//! ("execute-at-fetch"); timing is modelled with an analytically scheduled
+//! dataflow pipeline:
+//!
+//! * **fetch/dispatch** — up to `fetch_width` instructions per cycle follow
+//!   the actual path, consulting the branch predictor at every branch; a
+//!   misprediction stalls fetch until the branch's writeback plus a
+//!   redirect penalty (wrong-path instructions are not simulated — their
+//!   *timing* cost is the stall, their side effects are out of scope);
+//! * **issue** — each instruction's issue time is the max of its operands'
+//!   completion times, serialized through bounded issue/memory ports;
+//!   non-memory latencies are fixed per class, loads ask the memory
+//!   hierarchy *at their issue cycle* so in-flight prefetches are seen with
+//!   correct timing;
+//! * **commit** — in order, `commit_width` per cycle, bounded by the
+//!   192-entry ROB; commit trains the branch predictor, the confidence
+//!   estimators, the BrTC and the MHT, exactly as Section IV prescribes.
+
+use crate::config::{PredictorKind, PrefetcherKind, SimConfig};
+use crate::ports::PortRing;
+use bfetch_bpred::{
+    Btb, CompositeConfidence, ConfidenceConfig, DirectionPredictor, HistoryRegister,
+    PerceptronPredictor, TournamentConfig, TournamentPredictor,
+};
+use bfetch_core::{BFetchEngine, DecodedBranch};
+use bfetch_isa::{ArchState, OpClass, Program};
+use bfetch_mem::{AccessKind, HitLevel, MemorySystem};
+use bfetch_prefetch::{AccessEvent, Isb, NextN, PrefetchRequest, Prefetcher, Sms, Stride};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+const PORT_HORIZON: u64 = 1 << 14;
+
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    pc: u64,
+    dispatch_at: u64,
+    ready_at: u64,
+    unresolved: u8,
+    scheduled: bool,
+    complete_at: u64,
+    waiters: Vec<u64>,
+    dest: Option<u8>,
+    dest_val: u64,
+    // branch fields
+    is_branch: bool,
+    is_cond: bool,
+    taken: bool,
+    pred_taken: bool,
+    pred_strength: u8,
+    ghr_before: u64,
+    taken_target: u64,
+    fallthrough: u64,
+    // memory fields
+    is_load: bool,
+    is_store: bool,
+    ea: u64,
+    base_reg: u8,
+    regs_snapshot: Option<Box<[u64; 32]>>,
+    latency_class: LatClass,
+    forwarded: bool,
+}
+
+/// Per-core counters sampled by the run harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreCounters {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Conditional branches fetched.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Histogram of branches fetched per active fetch cycle (index 0..=4).
+    pub branch_fetch_hist: [u64; 5],
+    /// Times the workload ran to completion and was restarted.
+    pub restarts: u64,
+    /// Demand-prefetcher requests dropped on queue overflow.
+    pub pf_queue_overflow: u64,
+    /// Loads satisfied by store-to-load forwarding (forwarding mode only).
+    pub forwarded_loads: u64,
+}
+
+/// One simulated core: functional state, branch prediction, the optional
+/// B-Fetch engine or demand prefetcher, and the out-of-order timing model.
+pub struct Core {
+    id: usize,
+    program: Program,
+    arch: ArchState,
+    cfg: SimConfig,
+    // prediction
+    bp: Box<dyn DirectionPredictor>,
+    ghr: HistoryRegister,
+    btb: Btb,
+    conf: CompositeConfidence,
+    // prefetching
+    engine: Option<BFetchEngine>,
+    demand_pf: Option<Box<dyn Prefetcher>>,
+    pf_queue: VecDeque<PrefetchRequest>,
+    perfect: bool,
+    // pipeline
+    rob: VecDeque<InFlight>,
+    rob_base: u64,
+    next_seq: u64,
+    issue_ports: PortRing,
+    mem_ports: PortRing,
+    pending_mem: BinaryHeap<Reverse<(u64, u64)>>, // (issue cycle, seq)
+    fetch_blocked_by: Option<u64>,
+    fetch_stall_until: u64,
+    cur_iline: u64,
+    writers: [Option<u64>; 32],
+    counters: CoreCounters,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("program", &self.program.name())
+            .field("committed", &self.counters.committed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Builds a core running `program` under `cfg`.
+    pub fn new(id: usize, program: Program, cfg: &SimConfig) -> Self {
+        let arch = ArchState::new(&program);
+        let bp: Box<dyn DirectionPredictor> = match cfg.predictor {
+            PredictorKind::Tournament => Box::new(TournamentPredictor::new(
+                TournamentConfig::scaled(cfg.bpred_scale),
+            )),
+            PredictorKind::Perceptron => Box::new(PerceptronPredictor::baseline()),
+        };
+        let conf = CompositeConfidence::new(ConfidenceConfig::baseline());
+        let (engine, demand_pf, perfect): (
+            Option<BFetchEngine>,
+            Option<Box<dyn Prefetcher>>,
+            bool,
+        ) = match cfg.prefetcher {
+            PrefetcherKind::None => (None, None, false),
+            PrefetcherKind::BFetch => (Some(BFetchEngine::new(cfg.bfetch)), None, false),
+            PrefetcherKind::NextN(n) => (None, Some(Box::new(NextN::new(n))), false),
+            PrefetcherKind::Stride => (None, Some(Box::new(Stride::new(cfg.stride))), false),
+            PrefetcherKind::Sms => (None, Some(Box::new(Sms::new(cfg.sms))), false),
+            PrefetcherKind::Isb => (None, Some(Box::new(Isb::baseline())), false),
+            PrefetcherKind::Perfect => (None, None, true),
+        };
+        Self {
+            id,
+            arch,
+            program,
+            bp,
+            ghr: HistoryRegister::new(),
+            btb: Btb::new(512, 4),
+            conf,
+            engine,
+            demand_pf,
+            pf_queue: VecDeque::new(),
+            perfect,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_base: 0,
+            next_seq: 0,
+            issue_ports: PortRing::new(cfg.issue_width, PORT_HORIZON),
+            mem_ports: PortRing::new(cfg.mem_ports, PORT_HORIZON),
+            pending_mem: BinaryHeap::new(),
+            fetch_blocked_by: None,
+            fetch_stall_until: 0,
+            cur_iline: u64::MAX,
+            writers: [None; 32],
+            counters: CoreCounters::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The workload's name.
+    pub fn program_name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// Sampled counters.
+    pub fn counters(&self) -> &CoreCounters {
+        &self.counters
+    }
+
+    /// Branch predictor `(lookups, mispredicts)`.
+    pub fn bp_stats(&self) -> (u64, u64) {
+        self.bp.stats()
+    }
+
+    /// The B-Fetch engine, when configured.
+    pub fn engine(&self) -> Option<&BFetchEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Off-chip prefetcher meta-data traffic generated so far, in bytes.
+    pub fn pf_metadata_bytes(&self) -> u64 {
+        self.demand_pf
+            .as_ref()
+            .map_or(0, |p| p.metadata_traffic_bytes())
+    }
+
+    /// Routes L1D prefetch-usefulness feedback into the per-load filter.
+    pub fn feedback(&mut self, pc_hash: u16, useful: bool) {
+        if let Some(e) = self.engine.as_mut() {
+            e.on_feedback(pc_hash, useful);
+        }
+    }
+
+    #[inline]
+    fn entry(&mut self, seq: u64) -> Option<&mut InFlight> {
+        let base = self.rob_base;
+        if seq < base {
+            return None;
+        }
+        self.rob.get_mut((seq - base) as usize)
+    }
+
+    /// Advances this core by one cycle.
+    pub fn cycle(&mut self, now: u64, mem: &mut MemorySystem) {
+        if now & 1023 == 0 {
+            self.issue_ports.release_before(now, 1024);
+            self.mem_ports.release_before(now, 1024);
+        }
+        self.process_pending_mem(now, mem);
+        self.check_fetch_block(now);
+        self.commit(now);
+        self.fetch(now, mem);
+        self.prefetch_tick(now, mem);
+    }
+
+    // ---- scheduling ------------------------------------------------------
+
+    fn try_schedule(&mut self, seq: u64, _now: u64) {
+        let cfg_mul = self.cfg.mul_latency;
+        let Some(e) = self.entry(seq) else { return };
+        if e.scheduled || e.unresolved > 0 {
+            return;
+        }
+        if e.is_load || e.is_store {
+            if e.complete_at == u64::MAX {
+                let earliest = e.ready_at.max(e.dispatch_at + 1);
+                let is_store = e.is_store;
+                let t = self.mem_ports.reserve(earliest);
+                let e = self.entry(seq).expect("entry exists");
+                if is_store {
+                    // stores drain through the store buffer: dependents (and
+                    // commit) see them complete right after address issue
+                    e.scheduled = true;
+                    e.complete_at = t + 1;
+                }
+                self.pending_mem.push(Reverse((t, seq)));
+                if is_store {
+                    self.on_scheduled(seq);
+                }
+            }
+            return;
+        }
+        let earliest = e.ready_at.max(e.dispatch_at + 1);
+        let latency = match e.latency_class {
+            LatClass::Mul => cfg_mul,
+            _ => 1,
+        };
+        let t = self.issue_ports.reserve(earliest);
+        let e = self.entry(seq).expect("entry exists");
+        e.scheduled = true;
+        e.complete_at = t + latency;
+        self.on_scheduled(seq);
+    }
+
+    /// Propagates a newly known completion time to dependents (iteratively,
+    /// to avoid unbounded recursion on long chains).
+    fn on_scheduled(&mut self, seq: u64) {
+        let mut stack = vec![seq];
+        while let Some(s) = stack.pop() {
+            let (complete, waiters) = {
+                let Some(e) = self.entry(s) else { continue };
+                debug_assert!(e.scheduled);
+                // post the register value toward the B-Fetch ARF
+                (e.complete_at, std::mem::take(&mut e.waiters))
+            };
+            {
+                let (dest, val) = {
+                    let e = self.entry(s).expect("entry exists");
+                    (e.dest, e.dest_val)
+                };
+                if !self.cfg.bfetch.arf_at_retire {
+                    if let (Some(d), Some(engine)) = (dest, self.engine.as_mut()) {
+                        engine.post_regwrite(d as usize, val, s, complete);
+                    }
+                }
+            }
+            for w in waiters {
+                let mut now_ready = false;
+                if let Some(we) = self.entry(w) {
+                    we.ready_at = we.ready_at.max(complete);
+                    we.unresolved -= 1;
+                    now_ready = we.unresolved == 0;
+                }
+                if now_ready {
+                    self.try_schedule(w, complete);
+                    if let Some(we) = self.entry(w) {
+                        if we.scheduled {
+                            stack.push(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_pending_mem(&mut self, now: u64, mem: &mut MemorySystem) {
+        while let Some(&Reverse((t, seq))) = self.pending_mem.peek() {
+            if t > now {
+                break;
+            }
+            self.pending_mem.pop();
+            let Some(e) = self.entry(seq) else { continue };
+            let (is_load, ea, pc, forwarded) = (e.is_load, e.ea, e.pc, e.forwarded);
+            if is_load {
+                let complete = if forwarded {
+                    now + 1
+                } else if self.perfect {
+                    now + self.cfg.l1d.latency
+                } else {
+                    let out = mem.access(self.id, AccessKind::Load, ea, now);
+                    self.observe_access(pc, ea, out.level == HitLevel::L1, true);
+                    out.complete_at
+                };
+                let e = self.entry(seq).expect("entry exists");
+                e.scheduled = true;
+                e.complete_at = complete.max(now + 1);
+                self.on_scheduled(seq);
+            } else if !self.perfect {
+                let out = mem.access(self.id, AccessKind::Store, ea, now);
+                self.observe_access(pc, ea, out.level == HitLevel::L1, false);
+            }
+        }
+    }
+
+    fn observe_access(&mut self, pc: u64, addr: u64, hit: bool, is_load: bool) {
+        if let Some(pf) = self.demand_pf.as_mut() {
+            let ev = AccessEvent {
+                pc,
+                addr,
+                hit,
+                is_load,
+            };
+            let mut reqs = Vec::new();
+            pf.on_access(&ev, &mut reqs);
+            for r in reqs {
+                if self.pf_queue.len() >= 100 {
+                    self.counters.pf_queue_overflow += 1;
+                } else {
+                    self.pf_queue.push_back(r);
+                }
+            }
+        }
+    }
+
+    // ---- commit ----------------------------------------------------------
+
+    fn commit(&mut self, now: u64) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(front) = self.rob.front() else { break };
+            if !front.scheduled || front.complete_at > now {
+                break;
+            }
+            let fi = self.rob.pop_front().expect("front exists");
+            self.rob_base += 1;
+            self.counters.committed += 1;
+            if self.cfg.bfetch.arf_at_retire {
+                if let (Some(d), Some(engine)) = (fi.dest, self.engine.as_mut()) {
+                    engine.post_regwrite(d as usize, fi.dest_val, fi.seq, now);
+                }
+            }
+            if fi.is_branch {
+                if fi.is_cond {
+                    self.bp.update(fi.pc, fi.ghr_before, fi.taken);
+                    self.conf.train(
+                        fi.pc,
+                        fi.ghr_before,
+                        fi.pred_strength,
+                        fi.pred_taken == fi.taken,
+                    );
+                }
+                if fi.taken {
+                    self.btb.install(fi.pc, fi.taken_target);
+                }
+                if let (Some(engine), Some(snap)) = (self.engine.as_mut(), fi.regs_snapshot) {
+                    engine.on_commit_branch(
+                        fi.pc,
+                        fi.is_cond,
+                        fi.taken,
+                        fi.taken_target,
+                        fi.fallthrough,
+                        &snap,
+                    );
+                }
+            } else if fi.is_load {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.on_commit_load(fi.pc, fi.base_reg, fi.ea);
+                }
+            }
+        }
+    }
+
+    // ---- fetch -----------------------------------------------------------
+
+    fn check_fetch_block(&mut self, _now: u64) {
+        if let Some(bseq) = self.fetch_blocked_by {
+            let penalty = self.cfg.mispredict_penalty;
+            let resolved = match self.entry(bseq) {
+                Some(e) if e.scheduled => Some(e.complete_at),
+                None => Some(0), // already retired: resolved long ago
+                _ => None,
+            };
+            if let Some(c) = resolved {
+                self.fetch_stall_until = self.fetch_stall_until.max(c + penalty);
+                self.fetch_blocked_by = None;
+            }
+        }
+    }
+
+    fn fetch(&mut self, now: u64, mem: &mut MemorySystem) {
+        if self.fetch_blocked_by.is_some() || now < self.fetch_stall_until {
+            return;
+        }
+        let mut branches_this_cycle = 0usize;
+        let l1i_lat = self.cfg.l1i.latency;
+        for _ in 0..self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            if self.arch.halted() {
+                self.counters.restarts += 1;
+                self.arch.restart();
+            }
+            let idx = self.arch.pc();
+            let pc = self.program.pc_addr(idx);
+            let line = pc & !63;
+            if line != self.cur_iline {
+                let out = mem.access(self.id, AccessKind::InstFetch, pc, now);
+                self.cur_iline = line;
+                if out.complete_at > now + l1i_lat {
+                    self.fetch_stall_until = out.complete_at;
+                    break;
+                }
+            }
+            let Some(info) = self.arch.step(&self.program) else {
+                break;
+            };
+            let inst = info.inst;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut fi = InFlight {
+                seq,
+                pc,
+                dispatch_at: now,
+                ready_at: now,
+                unresolved: 0,
+                scheduled: false,
+                complete_at: u64::MAX,
+                waiters: Vec::new(),
+                dest: inst.dst().map(|r| r.index() as u8),
+                dest_val: inst.dst().map_or(0, |r| self.arch.reg(r)),
+                is_branch: inst.is_branch(),
+                is_cond: inst.is_cond_branch(),
+                taken: info.taken,
+                pred_taken: true,
+                pred_strength: 3,
+                ghr_before: self.ghr.bits(),
+                taken_target: inst.branch_target().map_or(0, |t| self.program.pc_addr(t)),
+                fallthrough: self.program.pc_addr(idx + 1),
+                is_load: matches!(inst.class(), OpClass::Load),
+                is_store: matches!(inst.class(), OpClass::Store),
+                ea: info.ea.unwrap_or(0),
+                base_reg: inst.mem_info().map_or(0, |m| m.base.index() as u8),
+                regs_snapshot: None,
+                forwarded: false,
+                latency_class: match inst.class() {
+                    OpClass::IntMul => LatClass::Mul,
+                    _ => LatClass::Simple,
+                },
+            };
+
+            let mut mispredicted = false;
+            if fi.is_branch {
+                branches_this_cycle += 1;
+                let ghr_before = fi.ghr_before;
+                if fi.is_cond {
+                    self.counters.cond_branches += 1;
+                    let p = self.bp.predict(pc, ghr_before);
+                    fi.pred_taken = p.taken;
+                    fi.pred_strength = p.strength;
+                    self.ghr.push(info.taken);
+                    mispredicted = p.taken != info.taken;
+                    if mispredicted {
+                        self.counters.mispredicts += 1;
+                    }
+                }
+                // taken branches whose target is not in the BTB pay a small
+                // decode-redirect penalty
+                if fi.pred_taken && self.btb.lookup(pc).is_none() {
+                    self.fetch_stall_until =
+                        self.fetch_stall_until.max(now + self.cfg.btb_miss_penalty);
+                }
+                fi.regs_snapshot = Some(Box::new(*self.arch.regs()));
+                let confidence = self.conf.estimate(pc, ghr_before, fi.pred_strength);
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.on_branch_decoded(DecodedBranch {
+                        pc,
+                        predicted_taken: fi.pred_taken,
+                        taken_target: fi.taken_target,
+                        fallthrough: fi.fallthrough,
+                        is_cond: fi.is_cond,
+                        ghr_before,
+                        confidence,
+                    });
+                }
+            }
+
+            // store-to-load forwarding: a load whose word is written by an
+            // older in-flight store takes the data from the store queue
+            // (1-cycle forward after the store executes) instead of the
+            // cache
+            if self.cfg.store_forwarding && fi.is_load {
+                let word = fi.ea & !7;
+                let base = self.rob_base;
+                if let Some(pos) = self
+                    .rob
+                    .iter()
+                    .rposition(|e| e.is_store && (e.ea & !7) == word)
+                {
+                    let pseq = base + pos as u64;
+                    let mut wait = false;
+                    if let Some(pe) = self.entry(pseq) {
+                        if pe.scheduled {
+                            let c = pe.complete_at;
+                            fi.ready_at = fi.ready_at.max(c);
+                        } else {
+                            pe.waiters.push(seq);
+                            wait = true;
+                        }
+                    }
+                    if wait {
+                        fi.unresolved += 1;
+                    }
+                    fi.forwarded = true;
+                    self.counters.forwarded_loads += 1;
+                }
+            }
+
+            // dependency wiring
+            for src in inst.srcs().into_iter().flatten() {
+                if src.is_zero() {
+                    continue;
+                }
+                if let Some(pseq) = self.last_writer(src.index()) {
+                    let mut wait = false;
+                    if let Some(pe) = self.entry(pseq) {
+                        if pe.scheduled {
+                            let c = pe.complete_at;
+                            let r = &mut fi.ready_at;
+                            *r = (*r).max(c);
+                        } else {
+                            pe.waiters.push(seq);
+                            wait = true;
+                        }
+                    }
+                    if wait {
+                        fi.unresolved += 1;
+                    }
+                }
+            }
+            if let Some(d) = fi.dest {
+                self.writers[d as usize] = Some(seq);
+            }
+
+            self.rob.push_back(fi);
+            self.try_schedule(seq, now);
+
+            if mispredicted {
+                self.fetch_blocked_by = Some(seq);
+                break;
+            }
+            if info.halted {
+                break;
+            }
+            if now < self.fetch_stall_until {
+                break;
+            }
+        }
+        self.counters.branch_fetch_hist[branches_this_cycle.min(4)] += 1;
+    }
+
+    fn last_writer(&self, reg: usize) -> Option<u64> {
+        self.writers[reg]
+    }
+
+    // ---- prefetch issue ----------------------------------------------------
+
+    fn prefetch_tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        let per_cycle = self.cfg.prefetch_issue_per_cycle;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.tick(now, self.bp.as_ref(), &self.conf);
+            for c in engine.pop_prefetches(per_cycle) {
+                mem.prefetch(self.id, c.addr, c.pc_hash, now);
+            }
+            for addr in engine.pop_inst_prefetches(per_cycle) {
+                mem.prefetch_inst(self.id, addr, now);
+            }
+        } else if self.demand_pf.is_some() {
+            for _ in 0..per_cycle {
+                let Some(r) = self.pf_queue.pop_front() else {
+                    break;
+                };
+                mem.prefetch(self.id, r.addr, r.pc_hash & 0x3ff, now);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LatClass {
+    Simple,
+    Mul,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmp::run_single;
+    use bfetch_isa::{ProgramBuilder, Reg};
+
+    fn quick(cfg: &SimConfig, p: &Program, insts: u64) -> crate::cmp::RunResult {
+        let mut c = cfg.clone();
+        c.warmup_insts = 2_000;
+        run_single(p, &c, insts)
+    }
+
+    /// An L1-resident ALU loop: IPC approaches (but never exceeds) the
+    /// machine width.
+    #[test]
+    fn alu_loop_is_issue_bound() {
+        let mut b = ProgramBuilder::new("alu-loop");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 1_000_000);
+        let top = b.label();
+        b.bind(top);
+        // independent ALU ops to fill the issue ports
+        b.add(Reg::R3, Reg::R1, Reg::R2);
+        b.add(Reg::R4, Reg::R1, Reg::R2);
+        b.add(Reg::R5, Reg::R1, Reg::R2);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        let p = b.finish();
+        let r = quick(&SimConfig::baseline(), &p, 20_000);
+        assert!(
+            r.ipc() > 2.0,
+            "independent ALU loop should near width: {}",
+            r.ipc()
+        );
+        assert!(r.ipc() <= 4.0);
+    }
+
+    /// A hard-to-predict branch costs cycles relative to a predictable one.
+    #[test]
+    fn mispredictions_cost_cycles() {
+        let build = |name: &str, mask: i64| {
+            let mut b = ProgramBuilder::new(name);
+            b.li(Reg::R1, 0x9e3779b9);
+            b.li(Reg::R2, 0);
+            b.li(Reg::R3, 1_000_000);
+            b.li(Reg::R4, mask);
+            b.li(Reg::R7, 6364136223846793005);
+            let top = b.label();
+            let skip = b.label();
+            b.bind(top);
+            b.mul(Reg::R1, Reg::R1, Reg::R7);
+            b.addi(Reg::R1, Reg::R1, 0x1234567);
+            b.srli(Reg::R5, Reg::R1, 33);
+            b.and(Reg::R5, Reg::R5, Reg::R4);
+            b.beq(Reg::R5, Reg::R0, skip);
+            b.xor(Reg::R6, Reg::R6, Reg::R1);
+            b.bind(skip);
+            b.addi(Reg::R2, Reg::R2, 1);
+            b.blt(Reg::R2, Reg::R3, top);
+            b.finish()
+        };
+        let predictable = quick(&SimConfig::baseline(), &build("pred", 0), 20_000);
+        let random = quick(&SimConfig::baseline(), &build("rand", 1), 20_000);
+        assert!(random.bp_miss_rate() > 0.2, "mask 1 is a coin flip");
+        assert!(predictable.bp_miss_rate() < 0.02);
+        assert!(
+            random.ipc() < predictable.ipc() * 0.9,
+            "mispredicts must cost: {} vs {}",
+            random.ipc(),
+            predictable.ipc()
+        );
+    }
+
+    /// A dependent multiply chain runs at ~1/mul_latency IPC.
+    #[test]
+    fn dependent_mul_chain_is_latency_bound() {
+        let mut b = ProgramBuilder::new("mul-chain");
+        b.li(Reg::R1, 3);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 1_000_000);
+        let top = b.label();
+        b.bind(top);
+        for _ in 0..8 {
+            b.mul(Reg::R1, Reg::R1, Reg::R1);
+        }
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.blt(Reg::R2, Reg::R3, top);
+        let p = b.finish();
+        let r = quick(&SimConfig::baseline(), &p, 20_000);
+        // 11 insts per iteration, 8 serial muls of 3 cycles => >= 24 cycles
+        let ipc = r.ipc();
+        assert!(ipc < 0.6, "serial multiply chain too fast: {ipc}");
+    }
+
+    /// Wider machines retire an ILP-rich loop faster.
+    #[test]
+    fn width_scales_ilp_rich_code() {
+        let mut b = ProgramBuilder::new("ilp");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 1_000_000);
+        let top = b.label();
+        b.bind(top);
+        for i in 3..11u8 {
+            let r = Reg::from_index(i as usize).unwrap();
+            b.addi(r, Reg::R1, i as i64);
+        }
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        let p = b.finish();
+        let narrow = quick(&SimConfig::baseline().with_width(2), &p, 20_000);
+        let wide = quick(&SimConfig::baseline().with_width(8), &p, 20_000);
+        assert!(
+            wide.ipc() > narrow.ipc() * 1.5,
+            "8-wide {} vs 2-wide {}",
+            wide.ipc(),
+            narrow.ipc()
+        );
+    }
+
+    /// Store-to-load forwarding turns store/reload pairs into 1-cycle
+    /// forwards and is visible in both the counter and the cycle count.
+    #[test]
+    fn store_forwarding_accelerates_reload_pairs() {
+        let mut b = ProgramBuilder::new("spill");
+        b.li(Reg::R1, 0x100_0000);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 1_000_000);
+        let top = b.label();
+        b.bind(top);
+        // spill/reload to a hot stack slot, dependent chain through memory
+        b.store(Reg::R2, Reg::R1, 0);
+        b.load(Reg::R4, Reg::R1, 0);
+        b.add(Reg::R2, Reg::R4, Reg::R3);
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.blt(Reg::R2, Reg::R3, top);
+        let p = b.finish();
+        let off = quick(&SimConfig::baseline(), &p, 20_000);
+        let mut cfg = SimConfig::baseline();
+        cfg.store_forwarding = true;
+        let on = quick(&cfg, &p, 20_000);
+        assert!(on.ipc() >= off.ipc(), "{} vs {}", on.ipc(), off.ipc());
+    }
+
+    /// Writeback modelling surfaces DRAM writeback traffic for a
+    /// store-streaming kernel and none without stores.
+    #[test]
+    fn writebacks_counted_for_dirty_streams() {
+        let mut b = ProgramBuilder::new("wb");
+        b.li(Reg::R1, 0x100_0000);
+        b.li(Reg::R2, 0x400_0000);
+        let top = b.label();
+        b.bind(top);
+        b.store(Reg::R5, Reg::R1, 0);
+        b.addi(Reg::R1, Reg::R1, 64);
+        b.blt(Reg::R1, Reg::R2, top);
+        let p = b.finish();
+        let mut cfg = SimConfig::baseline();
+        cfg.model_writebacks = true;
+        // tiny caches: the bandwidth-throttled fill stream must overflow
+        // all three levels within the measurement window
+        cfg.l1d = bfetch_mem::CacheConfig::new(2 * 1024, 2, 2);
+        cfg.l2 = bfetch_mem::CacheConfig::new(4 * 1024, 2, 10);
+        cfg.l3_bytes_per_core = 4 * 1024;
+        let r = quick(&cfg, &p, 60_000);
+        assert!(r.mem.writebacks > 0, "{:?}", r.mem);
+        let mut off = cfg.clone();
+        off.model_writebacks = false;
+        let r2 = quick(&off, &p, 20_000);
+        assert_eq!(r2.mem.writebacks, 0);
+    }
+
+    /// Retire-time ARF updates still produce a functional engine.
+    #[test]
+    fn retire_arf_mode_runs() {
+        let mut b = ProgramBuilder::new("stream");
+        b.li(Reg::R1, 0x100_0000);
+        b.li(Reg::R2, 0x120_0000);
+        let top = b.label();
+        b.bind(top);
+        b.load(Reg::R4, Reg::R1, 0);
+        b.addi(Reg::R1, Reg::R1, 64);
+        b.blt(Reg::R1, Reg::R2, top);
+        let p = b.finish();
+        let mut cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+        cfg.bfetch.arf_at_retire = true;
+        let r = quick(&cfg, &p, 20_000);
+        assert!(r.mem.prefetch_issued > 0);
+        assert!(r.ipc() > 0.05);
+    }
+}

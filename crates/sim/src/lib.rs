@@ -1,0 +1,35 @@
+//! # bfetch-sim
+//!
+//! The cycle-stepped chip-multiprocessor timing simulator the B-Fetch
+//! reproduction is evaluated on — standing in for the paper's gem5 setup
+//! (Table II): 4-wide out-of-order cores with 192-entry ROBs, per-core
+//! L1I/L1D/L2, a shared L3 (2 MB/core), a bandwidth-limited DRAM channel,
+//! a tournament branch predictor, and pluggable prefetchers (none, Next-N,
+//! Stride, SMS, B-Fetch, or a Perfect oracle).
+//!
+//! See [`run_single`] / [`run_multi`] for the measurement entry points and
+//! [`analysis`] for the instrumentation used by Figures 3 and 7.
+//!
+//! ## Fidelity notes (also in DESIGN.md)
+//!
+//! * Functional execution advances on the correct path at fetch; wrong-path
+//!   *timing* is modelled as a fetch stall until branch resolution plus a
+//!   redirect penalty, but wrong-path memory side effects are not simulated.
+//! * The global history register is updated with actual outcomes at fetch,
+//!   so predictor accuracy is marginally optimistic; identical treatment
+//!   across all configurations keeps speedups comparable.
+//! * Fills install when they complete, so prefetch timeliness (including
+//!   late prefetches that merge in the MSHRs) is modelled faithfully.
+
+pub mod analysis;
+pub mod cmp;
+pub mod config;
+pub mod core;
+pub mod energy;
+pub mod ports;
+
+pub use analysis::{delta_cdfs, DeltaCdfs};
+pub use cmp::{run_multi, run_single, RunResult};
+pub use config::{PredictorKind, PrefetcherKind, SimConfig};
+pub use core::{Core, CoreCounters};
+pub use energy::{EnergyParams, EnergyReport};

@@ -1,0 +1,103 @@
+//! Random-program stress tests: arbitrary (valid) instruction sequences
+//! must run through the full timing pipeline without panics, deadlocks or
+//! IPC anomalies, under every prefetcher.
+
+use bfetch_isa::{Inst, Program, Reg};
+use bfetch_sim::{run_single, PredictorKind, PrefetcherKind, SimConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random but structurally valid instruction.
+fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
+    let reg = (0usize..32).prop_map(|i| Reg::from_index(i).expect("valid"));
+    let target = 0usize..len;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| Inst::Mul { rd, ra, rb }),
+        (reg.clone(), reg.clone(), -256i64..256).prop_map(|(rd, rs, imm)| Inst::AddI {
+            rd,
+            rs,
+            imm
+        }),
+        (reg.clone(), 0i64..0x10_0000).prop_map(|(rd, imm)| Inst::LoadImm { rd, imm }),
+        (reg.clone(), reg.clone(), 0i64..4096).prop_map(|(rd, base, offset)| Inst::Load {
+            rd,
+            base,
+            offset
+        }),
+        (reg.clone(), reg.clone(), 0i64..4096).prop_map(|(rs, base, offset)| Inst::Store {
+            rs,
+            base,
+            offset
+        }),
+        (reg.clone(), reg.clone(), target.clone()).prop_map(|(ra, rb, target)| Inst::Beq {
+            ra,
+            rb,
+            target
+        }),
+        (reg.clone(), reg.clone(), target.clone()).prop_map(|(ra, rb, target)| Inst::Bne {
+            ra,
+            rb,
+            target
+        }),
+        (reg, (0u8..64)).prop_map(|(rd, sh)| Inst::SllI { rd, rs: rd, sh }),
+        Just(Inst::Nop),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (8usize..64).prop_flat_map(|len| {
+        prop::collection::vec(arb_inst(len), len)
+            .prop_map(|insts| Program::new("fuzz", insts, vec![]))
+    })
+}
+
+fn quick(kind: PrefetcherKind) -> SimConfig {
+    let mut c = SimConfig::baseline().with_prefetcher(kind);
+    c.warmup_insts = 500;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random program completes its instruction quota with a plausible
+    /// IPC under the baseline configuration.
+    #[test]
+    fn random_programs_complete(p in arb_program()) {
+        let r = run_single(&p, &quick(PrefetcherKind::None), 3_000);
+        prop_assert!(r.instructions >= 3_000);
+        prop_assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+    }
+
+    /// The B-Fetch engine never corrupts execution: committed instruction
+    /// streams and cycle counts are deterministic, and IPC is not absurd.
+    #[test]
+    fn random_programs_with_bfetch(p in arb_program()) {
+        let a = run_single(&p, &quick(PrefetcherKind::BFetch), 2_000);
+        let b = run_single(&p, &quick(PrefetcherKind::BFetch), 2_000);
+        prop_assert_eq!(a.cycles, b.cycles, "nondeterminism detected");
+        prop_assert!(a.ipc() > 0.0 && a.ipc() <= 4.0);
+    }
+
+    /// Every prefetcher survives arbitrary access patterns.
+    #[test]
+    fn random_programs_all_prefetchers(p in arb_program(), which in 0usize..4) {
+        let kind = [
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Isb,
+            PrefetcherKind::NextN(2),
+        ][which];
+        let r = run_single(&p, &quick(kind), 2_000);
+        prop_assert!(r.instructions >= 2_000);
+    }
+
+    /// The perceptron predictor path is as robust as the tournament path.
+    #[test]
+    fn random_programs_perceptron(p in arb_program()) {
+        let mut cfg = quick(PrefetcherKind::BFetch);
+        cfg.predictor = PredictorKind::Perceptron;
+        let r = run_single(&p, &cfg, 2_000);
+        prop_assert!(r.instructions >= 2_000);
+    }
+}

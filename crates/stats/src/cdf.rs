@@ -1,0 +1,130 @@
+//! Empirical cumulative distribution functions (Figure 3 support).
+
+/// An empirical CDF over `u64` sample values, bucketed exactly.
+///
+/// Used to regenerate Figure 3 of the paper: the cumulative distribution of
+/// register-content / effective-address variation across basic blocks,
+/// expressed at cache-block (64 B) granularity, with everything at or above
+/// a saturation bucket (`≥ 33` in the paper) collapsed into the final point.
+///
+/// # Example
+///
+/// ```
+/// use bfetch_stats::Cdf;
+/// let mut c = Cdf::new();
+/// for v in [0, 0, 1, 2, 40] { c.add(v); }
+/// assert_eq!(c.count(), 5);
+/// assert!((c.fraction_at_or_below(1) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples collected.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= v`; `0.0` when empty.
+    pub fn fraction_at_or_below(&mut self, v: u64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= v);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Folds another distribution's samples into this one.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// The series `(x, F(x))` for `x` in `0..=max_x`, suitable for plotting.
+    /// Values above `max_x` appear only in the overall normalization (the
+    /// curve therefore may not reach 1.0 at `max_x`, exactly as in Fig 3's
+    /// `≥ 33` tail).
+    pub fn series(&mut self, max_x: u64) -> Vec<(u64, f64)> {
+        (0..=max_x)
+            .map(|x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+impl FromIterator<u64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        for v in iter {
+            c.add(v);
+        }
+        c
+    }
+}
+
+impl Extend<u64> for Cdf {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_is_zero() {
+        let mut c = Cdf::new();
+        assert_eq!(c.fraction_at_or_below(100), 0.0);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let mut c: Cdf = [5u64, 3, 3, 10, 0, 7].into_iter().collect();
+        let s = c.series(12);
+        for w in s.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn tail_mass_beyond_max_x() {
+        let mut c: Cdf = [1u64, 2, 100].into_iter().collect();
+        let s = c.series(10);
+        assert!((s.last().unwrap().1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_add_and_query() {
+        let mut c = Cdf::new();
+        c.add(1);
+        assert_eq!(c.fraction_at_or_below(1), 1.0);
+        c.add(5);
+        assert_eq!(c.fraction_at_or_below(1), 0.5);
+    }
+}

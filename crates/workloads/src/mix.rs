@@ -1,0 +1,128 @@
+//! Multiprogrammed mix selection (Section V-A).
+//!
+//! The paper selects 29 mixes with the highest shared-cache contention
+//! using the frequency-of-access (FOA) inter-thread contention model of
+//! Chandra et al. (HPCA 2005). FOA scores a mix by the sum of its members'
+//! off-core access frequencies; we use per-kernel scores calibrated from
+//! solo profiling runs (stored on each [`Kernel`]) and take the top-scoring
+//! combinations, exactly as the methodology describes.
+
+use crate::kernels::{kernels, Kernel};
+
+/// Number of mixes per configuration (the paper evaluates 29).
+pub const NUM_MIXES: usize = 29;
+
+/// One multiprogrammed mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Mix label (`mix1`..`mix29`, ordered by descending contention).
+    pub name: String,
+    /// The member kernels.
+    pub members: Vec<&'static Kernel>,
+    /// The mix's FOA contention score.
+    pub score: f64,
+}
+
+/// Enumerates all `k`-combinations of the 18 kernels, scores each with the
+/// FOA model, and returns the `count` highest-contention mixes (ties broken
+/// lexicographically for determinism).
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds the kernel count.
+pub fn select_mixes(k: usize, count: usize) -> Vec<Mix> {
+    let all = kernels();
+    assert!(k >= 1 && k <= all.len(), "invalid mix arity {k}");
+    let mut combos: Vec<Vec<usize>> = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(all: usize, k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..all {
+            cur.push(i);
+            rec(all, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(all.len(), k, 0, &mut cur, &mut combos);
+
+    let mut scored: Vec<(f64, Vec<usize>)> = combos
+        .into_iter()
+        .map(|c| (c.iter().map(|&i| all[i].foa).sum::<f64>(), c))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite scores")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    scored
+        .into_iter()
+        .take(count)
+        .enumerate()
+        .map(|(i, (score, c))| Mix {
+            name: format!("mix{}", i + 1),
+            members: c.iter().map(|&j| &all[j]).collect(),
+            score,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_29_pairs() {
+        let mixes = select_mixes(2, NUM_MIXES);
+        assert_eq!(mixes.len(), 29);
+        for m in &mixes {
+            assert_eq!(m.members.len(), 2);
+        }
+    }
+
+    #[test]
+    fn scores_are_descending() {
+        let mixes = select_mixes(4, NUM_MIXES);
+        for w in mixes.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn top_mix_contains_most_intense_kernels() {
+        let mixes = select_mixes(2, 1);
+        let names: Vec<&str> = mixes[0].members.iter().map(|k| k.name).collect();
+        assert!(names.contains(&"lbm"), "{names:?}");
+        assert!(names.contains(&"libquantum"), "{names:?}");
+    }
+
+    #[test]
+    fn members_are_distinct() {
+        for m in select_mixes(4, NUM_MIXES) {
+            let mut names: Vec<&str> = m.members.iter().map(|k| k.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 4, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let a = select_mixes(2, 5);
+        let b = select_mixes(2, 5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                x.members.iter().map(|k| k.name).collect::<Vec<_>>(),
+                y.members.iter().map(|k| k.name).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mix arity")]
+    fn zero_arity_rejected() {
+        select_mixes(0, 1);
+    }
+}

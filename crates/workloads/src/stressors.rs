@@ -1,0 +1,84 @@
+//! Stressor programs outside the 18-benchmark suite, used by the
+//! extension experiments.
+
+use bfetch_isa::{Program, ProgramBuilder, Reg};
+
+/// An instruction-footprint stressor: `blocks` basic blocks (~1 cache line
+/// of code each) chained into a single full-period cycle by unconditional
+/// jumps, so the front end walks a code footprint far larger than the L1I
+/// in a *predictable* order. Commercial workloads look like this (Ferdman
+/// et al., MICRO 2008/2011 — cited by the paper's Section III-C), and it
+/// is the target of the paper's instruction-prefetching future work: the
+/// B-Fetch lookahead already knows the next blocks' PCs, so it can
+/// prefetch their instruction lines.
+///
+/// # Panics
+///
+/// Panics unless `blocks` is a power of two ≥ 2.
+pub fn icache_stressor(blocks: usize) -> Program {
+    assert!(
+        blocks.is_power_of_two() && blocks >= 2,
+        "blocks must be a power of two"
+    );
+    let mut b = ProgramBuilder::new("icache-stressor");
+    let data = 0x80_0000u64; // small, L1D-resident data table
+    b.li(Reg::R1, data as i64);
+    b.li(Reg::R2, 0);
+
+    let labels: Vec<_> = (0..blocks).map(|_| b.label()).collect();
+    // entry: jump into the cycle
+    b.jmp(labels[0]);
+    for (i, &label) in labels.iter().enumerate() {
+        b.bind(label);
+        // ~14 instructions (56 B) of work per block: ~1 I-line each
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.load(Reg::R3, Reg::R1, ((i % 512) * 8) as i64);
+        for _ in 0..5 {
+            b.add(Reg::R4, Reg::R4, Reg::R3);
+            b.xor(Reg::R5, Reg::R5, Reg::R4);
+        }
+        b.add(Reg::R6, Reg::R5, Reg::R2);
+        // full-period LCG permutation: succ(i) = (5i + 1) mod blocks
+        let succ = (5 * i + 1) & (blocks - 1);
+        b.jmp(labels[succ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfetch_isa::ArchState;
+    use std::collections::HashSet;
+
+    #[test]
+    fn visits_every_block() {
+        let p = icache_stressor(64);
+        let mut s = ArchState::new(&p);
+        let mut blocks_seen = HashSet::new();
+        for _ in 0..64 * 20 {
+            if let Some(i) = s.step(&p) {
+                if i.inst.is_branch() {
+                    blocks_seen.insert(i.next_idx);
+                }
+            }
+        }
+        assert_eq!(blocks_seen.len(), 64, "the LCG chain must be a full cycle");
+    }
+
+    #[test]
+    fn code_footprint_exceeds_l1i() {
+        let p = icache_stressor(4096);
+        assert!(
+            p.len() * 4 > 64 * 1024,
+            "code footprint {} B must exceed the 64 KB L1I",
+            p.len() * 4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_block_count() {
+        icache_stressor(100);
+    }
+}

@@ -1,0 +1,149 @@
+//! Access-pattern characterization tests: each kernel must actually
+//! exhibit the behaviour class its SPEC namesake is modelled on, since the
+//! paper's results hinge on those classes.
+
+use bfetch_isa::{ArchState, ExecInfo, Program};
+use bfetch_workloads::kernel_by_name;
+
+/// Collects the first `n` load effective addresses of a kernel.
+fn load_eas(p: &Program, n: usize) -> Vec<u64> {
+    let mut s = ArchState::new(p);
+    let mut eas = Vec::with_capacity(n);
+    while eas.len() < n {
+        match s.step(p) {
+            Some(ExecInfo {
+                ea: Some(ea), inst, ..
+            }) if inst.mem_info().map(|m| m.is_load).unwrap_or(false) => eas.push(ea),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    eas
+}
+
+/// Fraction of consecutive deltas equal to the modal delta.
+fn stride_regularity(eas: &[u64]) -> f64 {
+    use std::collections::HashMap;
+    let deltas: Vec<i64> = eas.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for d in &deltas {
+        *counts.entry(*d).or_default() += 1;
+    }
+    let modal = counts.values().copied().max().unwrap_or(0);
+    modal as f64 / deltas.len().max(1) as f64
+}
+
+#[test]
+fn libquantum_is_perfectly_sequential() {
+    let p = kernel_by_name("libquantum").unwrap().build_small();
+    let eas = load_eas(&p, 2000);
+    assert!(
+        stride_regularity(&eas) > 0.99,
+        "{}",
+        stride_regularity(&eas)
+    );
+}
+
+#[test]
+fn mcf_mixes_scan_and_chase() {
+    let p = kernel_by_name("mcf").unwrap().build_small();
+    let eas = load_eas(&p, 3000);
+    let reg = stride_regularity(&eas);
+    // the interleaved pointer chase keeps the modal delta well below 1.0
+    // but the arc scan keeps it well above chance
+    assert!(
+        (0.05..0.8).contains(&reg),
+        "mcf should be a scan/chase mix, regularity {reg}"
+    );
+}
+
+#[test]
+fn milc_touches_wide_spatial_regions() {
+    let p = kernel_by_name("milc").unwrap().build_small();
+    let eas = load_eas(&p, 800);
+    // consecutive loads of a site span nearly the full 2 KB region
+    let mut spans = Vec::new();
+    for chunk in eas.chunks(8) {
+        if chunk.len() == 8 {
+            spans.push(chunk.iter().max().unwrap() - chunk.iter().min().unwrap());
+        }
+    }
+    let wide = spans.iter().filter(|&&s| s >= 1500).count();
+    assert!(
+        wide * 2 > spans.len(),
+        "milc sites must span their region: {spans:?}"
+    );
+}
+
+#[test]
+fn gamess_footprint_fits_l1() {
+    let p = kernel_by_name("gamess").unwrap().build_small();
+    let eas = load_eas(&p, 5000);
+    let min = *eas.iter().min().unwrap();
+    let max = *eas.iter().max().unwrap();
+    assert!(max - min <= 64 * 1024, "gamess footprint {}", max - min);
+}
+
+#[test]
+fn soplex_gathers_over_a_large_vector() {
+    let p = kernel_by_name("soplex").unwrap().build_small();
+    let eas = load_eas(&p, 3000);
+    // every third load is the gather; its targets must be spread widely
+    let gathers: Vec<u64> = eas.iter().skip(2).step_by(3).copied().collect();
+    let min = *gathers.iter().min().unwrap();
+    let max = *gathers.iter().max().unwrap();
+    assert!(max - min > 100_000, "gather spread {}", max - min);
+}
+
+#[test]
+fn astar_strides_are_data_dependent() {
+    let p = kernel_by_name("astar").unwrap().build_small();
+    let eas = load_eas(&p, 2000);
+    // cell-record loads stride irregularly: several distinct deltas occur
+    let firsts: Vec<u64> = eas
+        .iter()
+        .copied()
+        .filter(|&a| a.is_multiple_of(64))
+        .collect();
+    let reg = stride_regularity(&firsts);
+    assert!(reg < 0.9, "astar must not be a single-stride stream: {reg}");
+}
+
+#[test]
+fn stencils_run_multiple_concurrent_streams() {
+    for name in ["lbm", "leslie3d", "cactusADM", "zeusmp"] {
+        let p = kernel_by_name(name).unwrap().build_small();
+        let eas = load_eas(&p, 600);
+        // cluster addresses into megabyte buckets: stencils touch several
+        let mut buckets: Vec<u64> = eas.iter().map(|a| a >> 17).collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        assert!(buckets.len() >= 2, "{name} should touch multiple streams");
+    }
+}
+
+#[test]
+fn branchy_kernels_have_data_dependent_branches() {
+    for name in ["bzip2", "mcf", "astar", "sjeng"] {
+        let k = kernel_by_name(name).unwrap();
+        let p = k.build_small();
+        let mut s = ArchState::new(&p);
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for _ in 0..60_000 {
+            match s.step(&p) {
+                Some(i) if i.inst.is_cond_branch() => {
+                    total += 1;
+                    taken += i.taken as u64;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let ratio = taken as f64 / total.max(1) as f64;
+        assert!(
+            (0.02..0.98).contains(&ratio),
+            "{name}: conditional branches should vary, taken ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Multiprogrammed CMP contention: run the highest-contention 2-app mix on
+//! a shared-LLC CMP and show how prefetching accuracy translates into
+//! weighted speedup — the paper's "friendly fire" scenario.
+//!
+//! ```sh
+//! cargo run --release --example cmp_contention
+//! ```
+
+use bfetch::sim::{run_multi, run_single, PrefetcherKind, SimConfig};
+use bfetch::stats::{weighted_speedup, Table};
+use bfetch::workloads::select_mixes;
+
+fn main() {
+    let mix = &select_mixes(2, 1)[0];
+    let programs: Vec<_> = mix.members.iter().map(|k| k.build_small()).collect();
+    println!(
+        "mix: {} + {} (FOA score {:.2})",
+        mix.members[0].name, mix.members[1].name, mix.score
+    );
+
+    let mut t = Table::new(vec![
+        "prefetcher".into(),
+        "ipc core0".into(),
+        "ipc core1".into(),
+        "weighted speedup".into(),
+        "useless prefetches".into(),
+    ]);
+    let mut ws_baseline = None;
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Sms,
+        PrefetcherKind::BFetch,
+    ] {
+        let cfg = SimConfig::baseline().with_prefetcher(kind);
+        let solo: Vec<f64> = programs
+            .iter()
+            .map(|p| run_single(p, &cfg, 80_000).ipc())
+            .collect();
+        let multi = run_multi(&programs, &cfg, 80_000);
+        let pairs: Vec<(f64, f64)> = multi
+            .iter()
+            .zip(solo.iter())
+            .map(|(r, &s)| (r.ipc(), s))
+            .collect();
+        let ws = weighted_speedup(&pairs);
+        let ws_norm = match ws_baseline {
+            None => {
+                ws_baseline = Some(ws);
+                1.0
+            }
+            Some(b) => ws / b,
+        };
+        let useless: u64 = multi.iter().map(|r| r.mem.prefetch_useless).sum();
+        t.row(vec![
+            kind.name().into(),
+            format!("{:.3}", multi[0].ipc()),
+            format!("{:.3}", multi[1].ipc()),
+            format!("{ws_norm:.3}"),
+            useless.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!();
+    println!("inaccurate prefetch streams knock the co-runner's data out of the");
+    println!("shared L3 and queue behind its DRAM requests; B-Fetch's confidence");
+    println!("mechanisms keep its useless-prefetch count low.");
+}

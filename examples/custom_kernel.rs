@@ -1,0 +1,72 @@
+//! Build your own workload: assemble a pointer-walking kernel with the
+//! `ProgramBuilder`, run it through the simulator, and inspect what the
+//! B-Fetch engine learned about it.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use bfetch::isa::{ArchState, ProgramBuilder, Reg};
+use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+
+fn main() {
+    // A linked ring of 4096 nodes laid out 128 bytes apart: each node's
+    // first word points at the next node (here: sequentially, so the walk
+    // is predictable from the node register plus a learned delta).
+    let nodes = 4096u64;
+    let stride = 128u64;
+    let base = 0x20_0000u64;
+    let mut b = ProgramBuilder::new("ring-walk");
+    let ring: Vec<u64> = (0..nodes)
+        .flat_map(|i| {
+            let next = base + ((i + 1) % nodes) * stride;
+            let mut words = vec![next, i];
+            words.resize((stride / 8) as usize, 0);
+            words
+        })
+        .collect();
+    b.init_words(base, &ring);
+
+    b.li(Reg::R1, base as i64); // current node
+    b.li(Reg::R2, 0); // step counter
+    b.li(Reg::R3, 1_000_000);
+    let top = b.label();
+    b.bind(top);
+    b.load(Reg::R4, Reg::R1, 8); // payload
+    b.add(Reg::R5, Reg::R5, Reg::R4);
+    b.load(Reg::R1, Reg::R1, 0); // follow the pointer
+    b.addi(Reg::R2, Reg::R2, 1);
+    b.blt(Reg::R2, Reg::R3, top);
+    b.halt();
+    let program = b.finish();
+
+    // sanity: functional walk visits every node
+    let mut s = ArchState::new(&program);
+    s.run(&program, 10_000);
+    println!(
+        "functional check: r1 = {:#x} after 10k steps",
+        s.reg(Reg::R1)
+    );
+
+    let baseline = run_single(&program, &SimConfig::baseline(), 100_000);
+    let cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+    let bf = run_single(&program, &cfg, 100_000);
+    println!("baseline IPC : {:.3}", baseline.ipc());
+    println!(
+        "B-Fetch IPC  : {:.3}  ({:.2}x)",
+        bf.ipc(),
+        bf.ipc() / baseline.ipc()
+    );
+    if let Some(e) = bf.engine {
+        println!(
+            "engine       : depth {:.1}, {} candidates, {} filtered",
+            e.mean_depth(),
+            e.candidates,
+            e.filtered
+        );
+    }
+    println!();
+    println!("the walk's node register advances by a constant delta, so the MHT's");
+    println!("loop mechanism predicts future nodes even though every load is a");
+    println!("pointer dereference a demand-miss prefetcher would treat as random.");
+}

@@ -1,0 +1,139 @@
+//! Whole-system integration tests: kernels → simulator → prefetchers.
+
+use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::workloads::{kernel_by_name, kernels};
+
+fn cfg(kind: PrefetcherKind) -> SimConfig {
+    let mut c = SimConfig::baseline().with_prefetcher(kind);
+    c.warmup_insts = 20_000;
+    c
+}
+
+const INSTS: u64 = 40_000;
+
+#[test]
+fn all_kernels_simulate_under_every_prefetcher() {
+    for k in kernels() {
+        let p = k.build_small();
+        for kind in [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::BFetch,
+        ] {
+            let r = run_single(&p, &cfg(kind), 20_000);
+            assert!(
+                r.ipc() > 0.01 && r.ipc() <= 4.0,
+                "{} under {} gave IPC {}",
+                k.name,
+                kind.name(),
+                r.ipc()
+            );
+        }
+    }
+}
+
+#[test]
+fn perfect_prefetcher_is_an_upper_bound_on_sensitive_kernels() {
+    for name in ["libquantum", "lbm", "leslie3d"] {
+        let p = kernel_by_name(name).unwrap().build_small();
+        let perfect = run_single(&p, &cfg(PrefetcherKind::Perfect), INSTS).ipc();
+        for kind in [
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::BFetch,
+        ] {
+            let real = run_single(&p, &cfg(kind), INSTS).ipc();
+            assert!(
+                real <= perfect * 1.02,
+                "{name}: {} ({real}) beat perfect ({perfect})",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bfetch_speeds_up_streaming_kernels() {
+    for name in [
+        "libquantum",
+        "lbm",
+        "leslie3d",
+        "zeusmp",
+        "cactusADM",
+        "hmmer",
+    ] {
+        let p = kernel_by_name(name).unwrap().build_small();
+        let base = run_single(&p, &cfg(PrefetcherKind::None), INSTS).ipc();
+        let bf = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS).ipc();
+        assert!(bf > base * 1.15, "{name}: bfetch {bf} vs baseline {base}");
+    }
+}
+
+#[test]
+fn bfetch_never_badly_hurts_any_kernel() {
+    for k in kernels() {
+        let p = k.build_small();
+        let base = run_single(&p, &cfg(PrefetcherKind::None), INSTS).ipc();
+        let bf = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS).ipc();
+        assert!(
+            bf > base * 0.85,
+            "{}: bfetch {bf} badly below baseline {base}",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn cache_resident_kernels_see_no_prefetch_effect() {
+    for name in ["bzip2", "sjeng", "h264ref"] {
+        let p = kernel_by_name(name).unwrap().build_small();
+        // a full warm pass first so the measurement window is steady-state
+        let mut c = cfg(PrefetcherKind::None);
+        c.warmup_insts = 120_000;
+        let base = run_single(&p, &c, INSTS).ipc();
+        let mut c = cfg(PrefetcherKind::BFetch);
+        c.warmup_insts = 120_000;
+        let bf = run_single(&p, &c, INSTS).ipc();
+        let ratio = bf / base;
+        assert!(
+            (0.95..1.1).contains(&ratio),
+            "{name}: expected ~1.0, got {ratio}"
+        );
+    }
+}
+
+#[test]
+fn milc_is_an_sms_corner_case() {
+    // Section V-B1: SMS's 2KB regions beat B-Fetch's 256B pattern reach
+    let p = kernel_by_name("milc").unwrap().build_small();
+    let base = run_single(&p, &cfg(PrefetcherKind::None), INSTS).ipc();
+    let sms = run_single(&p, &cfg(PrefetcherKind::Sms), INSTS).ipc();
+    let bf = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS).ipc();
+    assert!(sms > base * 1.3, "sms should win milc: {sms} vs {base}");
+    assert!(sms > bf, "sms ({sms}) must beat bfetch ({bf}) on milc");
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let p = kernel_by_name("mcf").unwrap().build_small();
+    let a = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS);
+    let b = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mem.prefetch_issued, b.mem.prefetch_issued);
+    assert_eq!(a.mem.prefetch_useful, b.mem.prefetch_useful);
+    assert_eq!(a.mispredicts, b.mispredicts);
+}
+
+#[test]
+fn prefetch_accuracy_feedback_is_consistent() {
+    let p = kernel_by_name("libquantum").unwrap().build_small();
+    let r = run_single(&p, &cfg(PrefetcherKind::BFetch), INSTS);
+    // every scored prefetch was actually issued
+    assert!(
+        r.mem.prefetch_useful + r.mem.prefetch_useless
+            <= r.mem.prefetch_issued - r.mem.prefetch_redundant + 64,
+        "scored more prefetches than were issued: {:?}",
+        r.mem
+    );
+}

@@ -1,0 +1,127 @@
+//! Robustness under extreme configurations: tiny structures, degenerate
+//! thresholds, saturated resources. The system must stay correct (and
+//! deterministic) even when every queue and table is under pressure.
+
+use bfetch::core::BFetchConfig;
+use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::workloads::kernel_by_name;
+
+fn base() -> SimConfig {
+    let mut c = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+    c.warmup_insts = 10_000;
+    c
+}
+
+const INSTS: u64 = 20_000;
+
+#[test]
+fn zero_confidence_threshold_walks_to_depth_cap() {
+    let p = kernel_by_name("libquantum").unwrap().build_small();
+    let mut c = base();
+    c.bfetch = BFetchConfig::baseline().with_confidence_threshold(0.0);
+    let r = run_single(&p, &c, INSTS);
+    let e = r.engine.expect("engine active");
+    assert!(e.confidence_stops == 0, "nothing stops at threshold 0");
+    assert!(r.ipc() > 0.1);
+}
+
+#[test]
+fn unit_confidence_threshold_stops_everything() {
+    let p = kernel_by_name("libquantum").unwrap().build_small();
+    let mut c = base();
+    c.bfetch = BFetchConfig::baseline().with_confidence_threshold(1.01);
+    let r = run_single(&p, &c, INSTS);
+    let e = r.engine.expect("engine active");
+    assert_eq!(e.branches_walked, 0, "no walk survives threshold > 1");
+    // with the engine muted, behaviour matches the no-prefetch baseline
+    let baseline = run_single(
+        &p,
+        &SimConfig {
+            prefetcher: PrefetcherKind::None,
+            ..c.clone()
+        },
+        INSTS,
+    );
+    assert_eq!(r.cycles, baseline.cycles);
+}
+
+#[test]
+fn single_entry_tables_still_function() {
+    let p = kernel_by_name("astar").unwrap().build_small();
+    let mut c = base();
+    c.bfetch.brtc_entries = 1;
+    c.bfetch.mht_entries = 1;
+    c.bfetch.queue_entries = 1;
+    c.bfetch.dbr_entries = 1;
+    let r = run_single(&p, &c, INSTS);
+    assert!(r.ipc() > 0.05);
+}
+
+#[test]
+fn one_mshr_serializes_but_completes() {
+    let p = kernel_by_name("lbm").unwrap().build_small();
+    let mut c = base();
+    c.l1d_mshrs = 1;
+    c.prefetch_buffers = 1;
+    let r = run_single(&p, &c, INSTS);
+    assert!(r.ipc() > 0.005, "serialized system still makes progress");
+}
+
+#[test]
+fn tiny_prefetch_queue_overflows_gracefully() {
+    let p = kernel_by_name("leslie3d").unwrap().build_small();
+    let mut c = base();
+    c.bfetch.queue_entries = 2;
+    let r = run_single(&p, &c, INSTS);
+    let e = r.engine.expect("engine active");
+    assert!(e.queue_overflow > 0, "pressure must be visible in stats");
+    assert!(r.ipc() > 0.1);
+}
+
+#[test]
+fn narrow_and_wide_pipelines_run() {
+    let p = kernel_by_name("gamess").unwrap().build_small();
+    for w in [1usize, 2, 8, 16] {
+        let c = base().with_width(w);
+        let r = run_single(&p, &c, INSTS);
+        assert!(r.ipc() > 0.05, "width {w} gave IPC {}", r.ipc());
+        assert!(r.ipc() <= w as f64, "IPC cannot exceed the width");
+    }
+}
+
+#[test]
+fn filter_threshold_extremes() {
+    let p = kernel_by_name("soplex").unwrap().build_small();
+    // threshold 0: everything passes; threshold 21: everything mutes
+    for (t, expect_some) in [(0u8, true), (22u8, false)] {
+        let mut c = base();
+        c.bfetch.filter_threshold = t;
+        let r = run_single(&p, &c, INSTS);
+        let e = r.engine.expect("engine active");
+        if expect_some {
+            assert!(e.candidates > 0);
+        } else {
+            // only the 1/256 probation trickle can pass
+            assert!(
+                e.candidates < e.filtered / 16 + 64,
+                "muted engine leaked: {e:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dram_single_line_interval_queueing() {
+    let p = kernel_by_name("libquantum").unwrap().build_small();
+    let mut slow = base();
+    slow.dram.line_interval = 128; // 1.6 GB/s channel
+    let fast = base();
+    let rs = run_single(&p, &slow, INSTS);
+    let rf = run_single(&p, &fast, INSTS);
+    assert!(
+        rs.ipc() < rf.ipc(),
+        "an 8x slower channel must hurt: {} vs {}",
+        rs.ipc(),
+        rf.ipc()
+    );
+}

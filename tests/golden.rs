@@ -1,0 +1,88 @@
+//! Golden functional-trace regression tests: the committed
+//! (PC, EA, direction) stream of every kernel is hashed and pinned, so any
+//! unintended change to the ISA semantics, the kernel generators or the
+//! deterministic RNG plumbing shows up immediately.
+//!
+//! If a kernel is changed *on purpose*, update its constant with the value
+//! printed by the failing assertion.
+
+use bfetch::isa::ArchState;
+use bfetch::workloads::kernel_by_name;
+
+/// FNV-1a over the execution stream.
+fn trace_hash(name: &str, steps: u64) -> u64 {
+    let p = kernel_by_name(name).expect("kernel").build_small();
+    let mut s = ArchState::new(&p);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut n = 0;
+    while n < steps {
+        let Some(info) = s.step(&p) else {
+            s.restart();
+            continue;
+        };
+        fold(info.idx as u64);
+        if let Some(ea) = info.ea {
+            fold(ea);
+        }
+        if info.inst.is_cond_branch() {
+            fold(info.taken as u64);
+        }
+        n += 1;
+    }
+    h
+}
+
+macro_rules! golden {
+    ($($test:ident, $name:literal, $hash:literal;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                let h = trace_hash($name, 50_000);
+                assert_eq!(
+                    h, $hash,
+                    "{} functional trace changed: got {h:#x} — if intended, update the constant",
+                    $name
+                );
+            }
+        )*
+    };
+}
+
+// Values pinned from the current deterministic build.
+golden! {
+    golden_libquantum, "libquantum", 0xcfab1b5216c06a74;
+    golden_mcf, "mcf", 0xde4d4852787591ef;
+    golden_milc, "milc", 0xe14b5122b2a5d9ec;
+    golden_astar, "astar", 0x57c49a1aafdf7e80;
+    golden_leslie3d, "leslie3d", 0xbb0d9f6be2f34fe7;
+    golden_soplex, "soplex", 0x848e2ae42adf4a53;
+    golden_sjeng, "sjeng", 0xd6caf0461483b2f5;
+    golden_bzip2, "bzip2", 0xd7d4ab027855c05c;
+}
+
+/// Regenerates the table above (run with `--ignored --nocapture`).
+#[test]
+#[ignore]
+fn print_golden_hashes() {
+    for name in [
+        "libquantum",
+        "mcf",
+        "milc",
+        "astar",
+        "leslie3d",
+        "soplex",
+        "sjeng",
+        "bzip2",
+    ] {
+        println!(
+            "    golden_{name}, \"{name}\", {:#x};",
+            trace_hash(name, 50_000)
+        );
+    }
+}
