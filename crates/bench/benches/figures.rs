@@ -1,182 +1,130 @@
-//! Criterion benches, one group per paper table/figure. Each group runs a
+//! Timing benches, one group per paper table/figure. Each runs a
 //! reduced-scale version of the corresponding experiment pipeline (the
-//! full-scale numbers come from the `figNN_*` binaries); Criterion tracks
-//! the simulator's throughput on that experiment so regressions in the
-//! substrate show up immediately.
+//! full-scale numbers come from the `figNN_*` binaries) and reports the
+//! simulator's wall-clock throughput on that experiment, so regressions
+//! in the substrate show up immediately.
+//!
+//! These are plain `harness = false` mains (no external bench framework
+//! is available offline); enable with `--features criterion-benches`:
+//!
+//! ```text
+//! cargo bench -p bfetch-bench --features criterion-benches
+//! ```
 
 use bfetch_core::BFetchConfig;
 use bfetch_sim::analysis::delta_cdfs;
 use bfetch_sim::{run_multi, run_single, PrefetcherKind, SimConfig};
 use bfetch_workloads::{kernel_by_name, select_mixes, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 const INSTS: u64 = 15_000;
+const SAMPLES: usize = 10;
 
 fn quick_cfg(kind: PrefetcherKind) -> SimConfig {
-    let mut c = SimConfig::baseline().with_prefetcher(kind);
-    c.warmup_insts = 5_000;
-    c
+    SimConfig::baseline()
+        .with_prefetcher(kind)
+        .with_warmup(5_000)
 }
 
-fn bench_single(c: &mut Criterion, group: &str, kind: PrefetcherKind, kernel: &str) {
+/// Run `f` SAMPLES times and print the median wall-clock per iteration.
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{group:<18} {name:<28} {:>12.3} ms", median as f64 / 1e6);
+}
+
+fn bench_single(group: &str, kind: PrefetcherKind, kernel: &str) {
     let program = kernel_by_name(kernel).expect("kernel").build_small();
-    c.benchmark_group(group)
-        .sample_size(10)
-        .bench_function(format!("{}_{kernel}", kind.name()), |b| {
-            b.iter(|| black_box(run_single(&program, &quick_cfg(kind), INSTS).ipc()))
-        });
+    bench(group, &format!("{}_{kernel}", kind.name()), || {
+        run_single(&program, &quick_cfg(kind), INSTS).ipc()
+    });
 }
 
-fn fig01_perfect(c: &mut Criterion) {
-    bench_single(c, "fig01_perfect", PrefetcherKind::Perfect, "libquantum");
-    bench_single(c, "fig01_perfect", PrefetcherKind::Stride, "libquantum");
-}
+fn main() {
+    println!("{:<18} {:<28} {:>15}", "group", "bench", "median");
 
-fn fig03_deltas(c: &mut Criterion) {
-    let program = kernel_by_name("mcf").unwrap().build_small();
-    c.benchmark_group("fig03_deltas")
-        .sample_size(10)
-        .bench_function("delta_cdfs_mcf", |b| {
-            b.iter(|| black_box(delta_cdfs(&program, 20_000).reg[0].count()))
-        });
-}
+    bench_single("fig01_perfect", PrefetcherKind::Perfect, "libquantum");
+    bench_single("fig01_perfect", PrefetcherKind::Stride, "libquantum");
 
-fn fig07_branches(c: &mut Criterion) {
-    let program = kernel_by_name("sjeng").unwrap().build_small();
-    c.benchmark_group("fig07_branches")
-        .sample_size(10)
-        .bench_function("fetch_histogram", |b| {
-            b.iter(|| {
-                let r = run_single(&program, &quick_cfg(PrefetcherKind::None), INSTS);
-                black_box(r.branch_fetch_hist)
-            })
-        });
-}
+    let mcf = kernel_by_name("mcf").unwrap().build_small();
+    bench("fig03_deltas", "delta_cdfs_mcf", || {
+        delta_cdfs(&mcf, 20_000).reg[0].count()
+    });
 
-fn tab1_storage(c: &mut Criterion) {
-    c.benchmark_group("tab1_storage")
-        .bench_function("storage_report", |b| {
-            b.iter(|| black_box(BFetchConfig::baseline().storage_report().total_kb()))
-        });
-}
+    let sjeng = kernel_by_name("sjeng").unwrap().build_small();
+    bench("fig07_branches", "fetch_histogram", || {
+        run_single(&sjeng, &quick_cfg(PrefetcherKind::None), INSTS).branch_fetch_hist
+    });
 
-fn fig08_single(c: &mut Criterion) {
+    bench("tab1_storage", "storage_report", || {
+        BFetchConfig::baseline().storage_report().total_kb()
+    });
+
     for kind in [
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::BFetch,
     ] {
-        bench_single(c, "fig08_single", kind, "leslie3d");
+        bench_single("fig08_single", kind, "leslie3d");
     }
-}
 
-fn fig09_mix2(c: &mut Criterion) {
-    let mix = &select_mixes(2, 1)[0];
-    let programs: Vec<_> = mix.members.iter().map(|k| k.build(Scale::Small)).collect();
-    c.benchmark_group("fig09_mix2")
-        .sample_size(10)
-        .bench_function("top_mix_bfetch", |b| {
-            b.iter(|| {
-                let r = run_multi(&programs, &quick_cfg(PrefetcherKind::BFetch), INSTS);
-                black_box(r[0].ipc() + r[1].ipc())
-            })
-        });
-}
+    let mix2 = &select_mixes(2, 1)[0];
+    let programs2: Vec<_> = mix2.members.iter().map(|k| k.build(Scale::Small)).collect();
+    bench("fig09_mix2", "top_mix_bfetch", || {
+        let r = run_multi(&programs2, &quick_cfg(PrefetcherKind::BFetch), INSTS);
+        r[0].ipc() + r[1].ipc()
+    });
 
-fn fig10_mix4(c: &mut Criterion) {
-    let mix = &select_mixes(4, 1)[0];
-    let programs: Vec<_> = mix.members.iter().map(|k| k.build(Scale::Small)).collect();
-    c.benchmark_group("fig10_mix4")
-        .sample_size(10)
-        .bench_function("top_mix_bfetch", |b| {
-            b.iter(|| {
-                let r = run_multi(&programs, &quick_cfg(PrefetcherKind::BFetch), 8_000);
-                black_box(r.iter().map(|x| x.ipc()).sum::<f64>())
-            })
-        });
-}
+    let mix4 = &select_mixes(4, 1)[0];
+    let programs4: Vec<_> = mix4.members.iter().map(|k| k.build(Scale::Small)).collect();
+    bench("fig10_mix4", "top_mix_bfetch", || {
+        let r = run_multi(&programs4, &quick_cfg(PrefetcherKind::BFetch), 8_000);
+        r.iter().map(|x| x.ipc()).sum::<f64>()
+    });
 
-fn fig11_accuracy(c: &mut Criterion) {
-    let program = kernel_by_name("mcf").unwrap().build_small();
-    c.benchmark_group("fig11_accuracy")
-        .sample_size(10)
-        .bench_function("useful_useless_bfetch", |b| {
-            b.iter(|| {
-                let r = run_single(&program, &quick_cfg(PrefetcherKind::BFetch), INSTS);
-                black_box((r.mem.prefetch_useful, r.mem.prefetch_useless))
-            })
-        });
-}
+    bench("fig11_accuracy", "useful_useless_bfetch", || {
+        let r = run_single(&mcf, &quick_cfg(PrefetcherKind::BFetch), INSTS);
+        (r.mem.prefetch_useful, r.mem.prefetch_useless)
+    });
 
-fn fig12_confidence(c: &mut Criterion) {
-    let program = kernel_by_name("astar").unwrap().build_small();
-    let mut g = c.benchmark_group("fig12_confidence");
-    g.sample_size(10);
+    let astar = kernel_by_name("astar").unwrap().build_small();
     for t in [0.45f64, 0.75, 0.90] {
-        g.bench_function(format!("threshold_{t}"), |b| {
-            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
-            cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
-            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+        cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
+        bench("fig12_confidence", &format!("threshold_{t}"), || {
+            run_single(&astar, &cfg, INSTS).ipc()
         });
     }
-    g.finish();
-}
 
-fn fig13_bpsize(c: &mut Criterion) {
-    let program = kernel_by_name("sjeng").unwrap().build_small();
-    let mut g = c.benchmark_group("fig13_bpsize");
-    g.sample_size(10);
     for s in [0.5f64, 1.0, 4.0] {
-        g.bench_function(format!("scale_{s}"), |b| {
-            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
-            cfg.bpred_scale = s;
-            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        let cfg = quick_cfg(PrefetcherKind::BFetch).with_bpred_scale(s);
+        bench("fig13_bpsize", &format!("scale_{s}"), || {
+            run_single(&sjeng, &cfg, INSTS).ipc()
         });
     }
-    g.finish();
-}
 
-fn fig14_width(c: &mut Criterion) {
-    let program = kernel_by_name("leslie3d").unwrap().build_small();
-    let mut g = c.benchmark_group("fig14_width");
-    g.sample_size(10);
+    let leslie = kernel_by_name("leslie3d").unwrap().build_small();
     for w in [2usize, 4, 8] {
-        g.bench_function(format!("{w}_wide"), |b| {
-            let cfg = quick_cfg(PrefetcherKind::BFetch).with_width(w);
-            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        let cfg = quick_cfg(PrefetcherKind::BFetch).with_width(w);
+        bench("fig14_width", &format!("{w}_wide"), || {
+            run_single(&leslie, &cfg, INSTS).ipc()
         });
     }
-    g.finish();
-}
 
-fn fig15_storage(c: &mut Criterion) {
-    let program = kernel_by_name("libquantum").unwrap().build_small();
-    let mut g = c.benchmark_group("fig15_storage");
-    g.sample_size(10);
+    let libq = kernel_by_name("libquantum").unwrap().build_small();
     for e in [64usize, 256, 512] {
-        g.bench_function(format!("{e}_entries"), |b| {
-            let mut cfg = quick_cfg(PrefetcherKind::BFetch);
-            cfg.bfetch = cfg.bfetch.with_table_entries(e);
-            b.iter(|| black_box(run_single(&program, &cfg, INSTS).ipc()))
+        let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+        cfg.bfetch = cfg.bfetch.with_table_entries(e);
+        bench("fig15_storage", &format!("{e}_entries"), || {
+            run_single(&libq, &cfg, INSTS).ipc()
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    figures,
-    fig01_perfect,
-    fig03_deltas,
-    fig07_branches,
-    tab1_storage,
-    fig08_single,
-    fig09_mix2,
-    fig10_mix4,
-    fig11_accuracy,
-    fig12_confidence,
-    fig13_bpsize,
-    fig14_width,
-    fig15_storage
-);
-criterion_main!(figures);

@@ -8,13 +8,15 @@
 //!   instead of the sampling-latched execute values (Section IV-B2 reports
 //!   the execute copy gives a significant improvement).
 
-use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_bench::{
+    print_speedup_table, rows_to_json, speedup_grid, summary_rows, Harness, Opts,
+};
 use bfetch_core::BFetchConfig;
 use bfetch_sim::PrefetcherKind;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     type Tweak = Box<dyn Fn(&mut BFetchConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![
         ("full", Box::new(|_c: &mut BFetchConfig| {})),
@@ -35,22 +37,21 @@ fn main() {
             Box::new(|c: &mut BFetchConfig| c.arf_at_retire = true),
         ),
     ];
-    let base_cfg = opts.config(PrefetcherKind::None);
-    let mut rows = Vec::new();
-    for k in kernels() {
-        let base = run_kernel(k, &base_cfg, &opts).ipc();
-        let vals = variants
-            .iter()
-            .map(|(_, tweak)| {
-                let mut cfg = opts.config(PrefetcherKind::BFetch);
-                tweak(&mut cfg.bfetch);
-                run_kernel(k, &cfg, &opts).ipc() / base
-            })
-            .collect();
-        rows.push((k.name, vals));
-    }
+    let columns: Vec<(&str, _)> = variants
+        .iter()
+        .map(|(name, tweak)| {
+            let mut cfg = opts.config(PrefetcherKind::BFetch);
+            tweak(&mut cfg.bfetch);
+            (*name, cfg)
+        })
+        .collect();
+    let mut rows = speedup_grid(&harness, &opts, &columns);
     rows.extend(summary_rows(&rows));
     let headers: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
     print_speedup_table(
         "Extension: B-Fetch design-choice ablation (speedup vs baseline)",
         &headers,

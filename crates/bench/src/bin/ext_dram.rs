@@ -3,45 +3,69 @@
 //! streams gain effective bandwidth from open rows, which compresses
 //! prefetcher speedups; scattered patterns are unaffected.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_mem::DramConfig;
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::{geomean, Table};
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
-    let mut t = Table::new(vec![
-        "dram model".into(),
-        "baseline IPC (geomean)".into(),
-        "bfetch speedup".into(),
-        "sms speedup".into(),
-    ]);
-    for (label, dram) in [
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
+    let models = [
         ("flat 200-cycle", DramConfig::baseline()),
         ("8-bank row buffer", DramConfig::with_row_model()),
-    ] {
+    ];
+    let prefetchers = [
+        ("base", PrefetcherKind::None),
+        ("bfetch", PrefetcherKind::BFetch),
+        ("sms", PrefetcherKind::Sms),
+    ];
+
+    let mut cfgs: Vec<(String, _)> = Vec::new();
+    for (mi, (_, dram)) in models.iter().enumerate() {
+        for (pname, kind) in prefetchers {
+            cfgs.push((format!("{mi}/{pname}"), opts.config(kind).with_dram(*dram)));
+        }
+    }
+    let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (mi, (label, _)) in models.iter().enumerate() {
         let mut base_ipc = Vec::new();
         let mut bf = Vec::new();
         let mut sms = Vec::new();
-        for k in kernels() {
-            let mut base_cfg = opts.config(PrefetcherKind::None);
-            base_cfg.dram = dram;
-            let mut bf_cfg = opts.config(PrefetcherKind::BFetch);
-            bf_cfg.dram = dram;
-            let mut sms_cfg = opts.config(PrefetcherKind::Sms);
-            sms_cfg.dram = dram;
-            let b = run_kernel(k, &base_cfg, &opts).ipc();
+        for k in &kernels {
+            let b = out.result(&format!("{}/{mi}/base", k.name)).ipc();
             base_ipc.push(b);
-            bf.push(run_kernel(k, &bf_cfg, &opts).ipc() / b);
-            sms.push(run_kernel(k, &sms_cfg, &opts).ipc() / b);
+            bf.push(out.result(&format!("{}/{mi}/bfetch", k.name)).ipc() / b);
+            sms.push(out.result(&format!("{}/{mi}/sms", k.name)).ipc() / b);
         }
-        t.row(vec![
-            label.into(),
-            format!("{:.3}", geomean(&base_ipc)),
-            format!("{:.3}", geomean(&bf)),
-            format!("{:.3}", geomean(&sms)),
-        ]);
+        rows.push((
+            label,
+            vec![geomean(&base_ipc), geomean(&bf), geomean(&sms)],
+        ));
+    }
+
+    let headers = ["baseline IPC (geomean)", "bfetch speedup", "sms speedup"];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("dram model".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &rows {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(vals.iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
     }
     println!("== Extension: DRAM model sensitivity ==");
     print!("{t}");

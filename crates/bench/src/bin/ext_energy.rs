@@ -3,13 +3,12 @@
 //! instruction, the speedup, and the energy-delay product relative to the
 //! no-prefetch baseline.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_core::BFetchConfig;
 use bfetch_prefetch::{Isb, Prefetcher, Sms, Stride};
 use bfetch_sim::energy::{estimate, EnergyParams};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::{geomean, Table};
-use bfetch_workloads::kernels;
 
 fn storage_kb(kind: PrefetcherKind) -> f64 {
     match kind {
@@ -22,7 +21,9 @@ fn storage_kb(kind: PrefetcherKind) -> f64 {
 }
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
     let params = EnergyParams::baseline();
     let kinds = [
         PrefetcherKind::None,
@@ -31,34 +32,53 @@ fn main() {
         PrefetcherKind::Isb,
         PrefetcherKind::BFetch,
     ];
-    // per kind: (speedup, energy ratio, edp ratio) geomeans over kernels
+    let cfgs: Vec<(&str, _)> = kinds.iter().map(|&k| (k.name(), opts.config(k))).collect();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    // per kind: (speedup, energy ratio) geomeans over kernels
     let mut rows: Vec<(PrefetcherKind, Vec<f64>, Vec<f64>)> =
         kinds.iter().map(|&k| (k, Vec::new(), Vec::new())).collect();
-    for k in kernels() {
-        let base = run_kernel(k, &opts.config(PrefetcherKind::None), &opts);
-        let base_e = estimate(&base, 0.0, &params).nj_per_inst(base.instructions);
+    for k in &kernels {
+        let base = out.result(&format!("{}/{}", k.name, PrefetcherKind::None.name()));
+        let base_e = estimate(base, 0.0, &params).nj_per_inst(base.instructions);
         for (kind, speedups, energies) in rows.iter_mut() {
-            let r = run_kernel(k, &opts.config(*kind), &opts);
-            let e = estimate(&r, storage_kb(*kind), &params).nj_per_inst(r.instructions);
+            let r = out.result(&format!("{}/{}", k.name, kind.name()));
+            let e = estimate(r, storage_kb(*kind), &params).nj_per_inst(r.instructions);
             speedups.push(r.ipc() / base.ipc());
             energies.push(e / base_e);
         }
     }
-    let mut t = Table::new(vec![
-        "prefetcher".into(),
-        "geomean speedup".into(),
-        "energy/inst vs baseline".into(),
-        "energy-delay vs baseline".into(),
-    ]);
-    for (kind, speedups, energies) in &rows {
-        let s = geomean(speedups);
-        let e = geomean(energies);
-        t.row(vec![
-            kind.name().into(),
-            format!("{s:.3}"),
-            format!("{e:.3}"),
-            format!("{:.3}", e / s),
-        ]);
+    let table_rows: Vec<(&'static str, Vec<f64>)> = rows
+        .iter()
+        .map(|(kind, speedups, energies)| {
+            let s = geomean(speedups);
+            let e = geomean(energies);
+            (kind.name(), vec![s, e, e / s])
+        })
+        .collect();
+
+    let headers = [
+        "geomean speedup",
+        "energy/inst vs baseline",
+        "energy-delay vs baseline",
+    ];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &table_rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("prefetcher".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &table_rows {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(vals.iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
     }
     println!("== Extension: dynamic energy across prefetchers ==");
     print!("{t}");

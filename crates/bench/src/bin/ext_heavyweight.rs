@@ -6,32 +6,38 @@
 //! alongside SMS and B-Fetch and reports speedup, accuracy, storage, and
 //! the meta-data traffic overhead.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_core::BFetchConfig;
 use bfetch_prefetch::{Isb, Prefetcher, Sms};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::{geomean, percent, Table};
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
-    let base_cfg = opts.config(PrefetcherKind::None);
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
     let kinds = [
         PrefetcherKind::Sms,
         PrefetcherKind::Isb,
         PrefetcherKind::BFetch,
     ];
 
+    let mut cfgs: Vec<(&str, _)> = vec![("base", opts.config(PrefetcherKind::None))];
+    cfgs.extend(kinds.iter().map(|&kind| (kind.name(), opts.config(kind))));
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     let mut useful = [0u64; 3];
     let mut useless = [0u64; 3];
     let mut demand_bytes = 0u64;
     let mut metadata_bytes = 0u64;
-    for k in kernels() {
-        let base = run_kernel(k, &base_cfg, &opts);
+    for k in &kernels {
+        let base = out.result(&format!("{}/base", k.name));
         demand_bytes += (base.mem.dram_reqs) * 64;
         for (i, &kind) in kinds.iter().enumerate() {
-            let r = run_kernel(k, &opts.config(kind), &opts);
+            let r = out.result(&format!("{}/{}", k.name, kind.name()));
             speedups[i].push(r.ipc() / base.ipc());
             useful[i] += r.mem.prefetch_useful;
             useless[i] += r.mem.prefetch_useless;
@@ -39,6 +45,37 @@ fn main() {
                 metadata_bytes += r.pf_metadata_bytes;
             }
         }
+    }
+
+    let onchip = [
+        Sms::baseline().storage_kb(),
+        Isb::baseline().storage_kb(),
+        BFetchConfig::baseline().storage_report().total_kb(),
+    ];
+    if opts.json {
+        let headers = ["geomean speedup", "accuracy", "on-chip KB", "metadata traffic pct"];
+        let rows: Vec<(&'static str, Vec<f64>)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let traffic = if *kind == PrefetcherKind::Isb {
+                    percent(metadata_bytes, demand_bytes)
+                } else {
+                    0.0
+                };
+                (
+                    kind.name(),
+                    vec![
+                        geomean(&speedups[i]),
+                        percent(useful[i], useful[i] + useless[i]),
+                        onchip[i],
+                        traffic,
+                    ],
+                )
+            })
+            .collect();
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
     }
 
     let mut t = Table::new(vec![
@@ -49,11 +86,6 @@ fn main() {
         "off-chip".into(),
         "metadata traffic".into(),
     ]);
-    let onchip = [
-        Sms::baseline().storage_kb(),
-        Isb::baseline().storage_kb(),
-        BFetchConfig::baseline().storage_report().total_kb(),
-    ];
     let offchip = ["-", "~MBs (maps)", "-"];
     for (i, kind) in kinds.iter().enumerate() {
         let acc = percent(useful[i], useful[i] + useless[i]);

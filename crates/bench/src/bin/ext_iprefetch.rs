@@ -3,23 +3,21 @@
 //! estimation scheme might be used to further improve instruction
 //! prefetching"). The Branch Trace Cache already names the next blocks'
 //! PCs during the walk; this experiment also prefetches their L1I lines.
+//!
+//! The icache stressor is a synthetic program, not a registry kernel, so
+//! this binary bypasses the result cache and fans the four configurations
+//! out over the harness executor directly.
 
-use bfetch_bench::Opts;
-use bfetch_sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch_bench::harness::executor;
+use bfetch_bench::{rows_to_json, Opts};
+use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
 use bfetch_stats::Table;
 use bfetch_workloads::icache_stressor;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
     let program = icache_stressor(4096);
-    let mut t = Table::new(vec![
-        "configuration".into(),
-        "IPC".into(),
-        "speedup".into(),
-        "L1I misses / kilo-inst".into(),
-    ]);
-    let mut base_ipc = None;
-    for (label, kind, ipf, brtc) in [
+    let variants: [(&str, PrefetcherKind, bool, usize); 4] = [
         ("no prefetch", PrefetcherKind::None, false, 256usize),
         ("bfetch (data only)", PrefetcherKind::BFetch, false, 256),
         (
@@ -34,22 +32,49 @@ fn main() {
             true,
             8192,
         ),
-    ] {
-        let mut cfg = SimConfig::baseline().with_prefetcher(kind);
-        cfg.warmup_insts = opts.warmup;
-        cfg.bfetch.inst_prefetch = ipf;
-        cfg.bfetch.brtc_entries = brtc;
-        let r = run_single(&program, &cfg, opts.instructions);
-        let ipc = r.ipc();
-        let base = *base_ipc.get_or_insert(ipc);
+    ];
+    let results: Vec<RunResult> =
+        executor::run_indexed(&variants, opts.threads, |_, &(_, kind, ipf, brtc)| {
+            let mut cfg = SimConfig::baseline()
+                .with_prefetcher(kind)
+                .with_warmup(opts.warmup);
+            cfg.bfetch.inst_prefetch = ipf;
+            cfg.bfetch.brtc_entries = brtc;
+            run_single(&program, &cfg, opts.instructions)
+        });
+
+    let base = results[0].ipc();
+    let rows: Vec<(&'static str, Vec<f64>)> = variants
+        .iter()
+        .zip(results.iter())
+        .map(|(&(label, ..), r)| {
+            (
+                label,
+                vec![
+                    r.ipc(),
+                    r.ipc() / base,
+                    r.mem.l1i_misses as f64 * 1000.0 / r.instructions as f64,
+                ],
+            )
+        })
+        .collect();
+
+    let headers = ["IPC", "speedup", "L1I misses / kilo-inst"];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("configuration".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &rows {
         t.row(vec![
-            label.into(),
-            format!("{ipc:.3}"),
-            format!("{:.3}", ipc / base),
-            format!(
-                "{:.1}",
-                r.mem.l1i_misses as f64 * 1000.0 / r.instructions as f64
-            ),
+            name.to_string(),
+            format!("{:.3}", vals[0]),
+            format!("{:.3}", vals[1]),
+            format!("{:.1}", vals[2]),
         ]);
     }
     println!("== Extension: instruction prefetching from the lookahead path ==");

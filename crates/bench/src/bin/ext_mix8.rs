@@ -2,31 +2,38 @@
 //! results with mixes of 8 workloads continue this trend" — this binary
 //! checks that claim on an 8-core CMP with a 16 MB shared L3.
 
-use bfetch_bench::{mix_summary, mix_weighted_speedups_n, Opts};
+use bfetch_bench::{mix_summary, mix_weighted_speedups_n, rows_to_json, Harness, Opts};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::Table;
 
 fn main() {
-    let mut opts = Opts::from_args();
+    let mut opts = Opts::parse_or_exit();
     // 8-core runs are heavy; default to a smaller window than the 2/4-core
     // figures unless explicitly overridden
-    if std::env::args().len() <= 1 {
+    if !std::env::args().any(|a| a == "--instructions" || a == "-n") {
         opts.instructions = 120_000;
+    }
+    if !std::env::args().any(|a| a == "--warmup") {
         opts.warmup = 60_000;
     }
+    let harness = Harness::from_opts(&opts);
     let kinds = [
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::BFetch,
     ];
-    let mut rows = mix_weighted_speedups_n(&opts, 8, &kinds, 10);
+    let headers = ["stride", "sms", "bfetch"];
+    let mut rows = mix_weighted_speedups_n(&harness, &opts, 8, &kinds, 10);
     rows.push(mix_summary(&rows));
-    let mut t = Table::new(vec![
-        "mix".into(),
-        "stride".into(),
-        "sms".into(),
-        "bfetch".into(),
-    ]);
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("mix".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
     for (name, vals) in &rows {
         t.row(
             std::iter::once(name.clone())

@@ -3,37 +3,43 @@
 //! state-of-art branch predictors"). Compares the tournament baseline with
 //! a hashed perceptron, with and without B-Fetch.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_sim::{PredictorKind, PrefetcherKind};
 use bfetch_stats::{geomean, mean, Table};
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
-    let mut t = Table::new(vec![
-        "predictor".into(),
-        "baseline speedup".into(),
-        "bfetch speedup".into(),
-        "miss rate".into(),
-        "mean lookahead depth".into(),
-    ]);
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
+    let predictors = [PredictorKind::Tournament, PredictorKind::Perceptron];
+
     // normalization point: tournament, no prefetch
-    let mut ref_ipcs = Vec::new();
-    for k in kernels() {
-        ref_ipcs.push(run_kernel(k, &opts.config(PrefetcherKind::None), &opts).ipc());
+    let mut cfgs: Vec<(String, _)> = vec![("ref".to_string(), opts.config(PrefetcherKind::None))];
+    for pk in predictors {
+        cfgs.push((
+            format!("base/{pk:?}"),
+            opts.config(PrefetcherKind::None).with_predictor(pk),
+        ));
+        cfgs.push((
+            format!("bfetch/{pk:?}"),
+            opts.config(PrefetcherKind::BFetch).with_predictor(pk),
+        ));
     }
-    for pk in [PredictorKind::Tournament, PredictorKind::Perceptron] {
-        let mut base_cfg = opts.config(PrefetcherKind::None);
-        base_cfg.predictor = pk;
-        let mut bf_cfg = opts.config(PrefetcherKind::BFetch);
-        bf_cfg.predictor = pk;
+    let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for pk in predictors {
         let mut base_r = Vec::new();
         let mut bf_r = Vec::new();
         let mut rates = Vec::new();
         let mut depths = Vec::new();
-        for (k, &ref_ipc) in kernels().iter().zip(ref_ipcs.iter()) {
-            let b = run_kernel(k, &base_cfg, &opts);
-            let f = run_kernel(k, &bf_cfg, &opts);
+        for k in &kernels {
+            let ref_ipc = out.result(&format!("{}/ref", k.name)).ipc();
+            let b = out.result(&format!("{}/base/{pk:?}", k.name));
+            let f = out.result(&format!("{}/bfetch/{pk:?}", k.name));
             base_r.push(b.ipc() / ref_ipc);
             bf_r.push(f.ipc() / ref_ipc);
             rates.push(b.bp_miss_rate());
@@ -41,12 +47,39 @@ fn main() {
                 depths.push(e.mean_depth());
             }
         }
-        t.row(vec![
+        rows.push((
             format!("{pk:?}"),
-            format!("{:.4}", geomean(&base_r)),
-            format!("{:.4}", geomean(&bf_r)),
-            format!("{:.2}%", 100.0 * mean(&rates)),
-            format!("{:.1}", mean(&depths)),
+            vec![
+                geomean(&base_r),
+                geomean(&bf_r),
+                mean(&rates),
+                mean(&depths),
+            ],
+        ));
+    }
+
+    let headers = [
+        "baseline speedup",
+        "bfetch speedup",
+        "miss rate",
+        "mean lookahead depth",
+    ];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("predictor".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &rows {
+        t.row(vec![
+            name.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.2}%", 100.0 * vals[2]),
+            format!("{:.1}", vals[3]),
         ]);
     }
     println!("== Extension: B-Fetch with a hashed perceptron predictor ==");

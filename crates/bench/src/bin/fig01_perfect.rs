@@ -1,21 +1,29 @@
 //! Figure 1: motivation — Stride and SMS vs a Perfect L1D prefetcher,
 //! normalized to the no-prefetch baseline, including both summary geomeans.
 
-use bfetch_bench::{print_speedup_table, speedups_vs_baseline, summary_rows, Opts};
+use bfetch_bench::{
+    print_speedup_table, rows_to_json, speedups_vs_baseline, summary_rows, Harness, Opts,
+};
 use bfetch_sim::PrefetcherKind;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     let kinds = [
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::Perfect,
     ];
-    let mut rows = speedups_vs_baseline(&opts, &kinds);
+    let headers = ["stride", "sms", "perfect"];
+    let mut rows = speedups_vs_baseline(&harness, &opts, &kinds);
     rows.extend(summary_rows(&rows));
-    print_speedup_table(
-        "Figure 1: Stride / SMS / Perfect prefetcher speedups",
-        &["stride", "sms", "perfect"],
-        &rows,
-    );
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+    } else {
+        print_speedup_table(
+            "Figure 1: Stride / SMS / Perfect prefetcher speedups",
+            &headers,
+            &rows,
+        );
+    }
 }

@@ -1,24 +1,57 @@
 //! Figure 3: cumulative distribution of (a) register-content variation and
 //! (b) effective-address variation across 1/3/12 basic blocks, at 64 B
 //! cache-block granularity, aggregated over all 18 kernels.
+//!
+//! The delta analysis produces CDFs rather than `RunResult`s, so this
+//! binary fans out over kernels with the harness executor directly and
+//! merges in registry order (the output is thread-count independent).
 
+use bfetch_bench::harness::executor;
+use bfetch_bench::harness::jsonio::Json;
 use bfetch_bench::Opts;
-use bfetch_sim::analysis::delta_cdfs;
-use bfetch_sim::analysis::HORIZONS;
+use bfetch_sim::analysis::{delta_cdfs, DeltaCdfs, HORIZONS};
 use bfetch_stats::Cdf;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let kernels = opts.selected_kernels();
+    let per_kernel: Vec<DeltaCdfs> = executor::run_indexed(&kernels, opts.threads, |_, k| {
+        let p = k.build(opts.scale);
+        delta_cdfs(&p, opts.instructions)
+    });
     let mut reg: [Cdf; 3] = [Cdf::new(), Cdf::new(), Cdf::new()];
     let mut ea: [Cdf; 3] = [Cdf::new(), Cdf::new(), Cdf::new()];
-    for k in kernels() {
-        let p = k.build(opts.scale);
-        let d = delta_cdfs(&p, opts.instructions);
+    for d in &per_kernel {
         for i in 0..3 {
             reg[i].merge(&d.reg[i]);
             ea[i].merge(&d.ea[i]);
         }
+    }
+
+    if opts.json {
+        let series = |cdfs: &mut [Cdf; 3]| {
+            Json::Arr(
+                (0..3)
+                    .map(|i| {
+                        Json::Arr(
+                            (0..=32u64)
+                                .map(|x| Json::f64_of(cdfs[i].fraction_at_or_below(x)))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let doc = Json::Obj(vec![
+            (
+                "horizons".into(),
+                Json::Arr(HORIZONS.iter().map(|&h| Json::u64_of(h)).collect()),
+            ),
+            ("reg".into(), series(&mut reg)),
+            ("ea".into(), series(&mut ea)),
+        ]);
+        println!("{doc}");
+        return;
     }
 
     for (title, cdfs) in [

@@ -2,22 +2,40 @@
 //! cycle, aggregated across the 18 kernels — the argument that the main
 //! pipeline's branch predictor port is almost always free for B-Fetch.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::harness::jsonio::Json;
+use bfetch_bench::{Harness, Opts, SweepSpec};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::percent;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
-    let cfg = opts.config(PrefetcherKind::None);
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(
+        &kernels,
+        &[("base", opts.config(PrefetcherKind::None))],
+        opts.instructions,
+        opts.scale,
+    );
+    let out = harness.run(&spec);
+
     let mut hist = [0u64; 5];
-    for k in kernels() {
-        let r = run_kernel(k, &cfg, &opts);
+    for k in &kernels {
+        let r = out.result(&format!("{}/base", k.name));
         for (i, v) in r.branch_fetch_hist.iter().enumerate() {
             hist[i] += v;
         }
     }
     let with_branch: u64 = hist[1..].iter().sum();
+    if opts.json {
+        let doc = Json::Obj(vec![(
+            "branch_fetch_hist".into(),
+            Json::Arr(hist.iter().map(|&v| Json::u64_of(v)).collect()),
+        )]);
+        println!("{doc}");
+        return;
+    }
     println!("== Figure 7: branches fetched per cycle (cycles fetching >=1 branch) ==");
     for (n, &count) in hist.iter().enumerate().skip(1) {
         println!(

@@ -2,21 +2,29 @@
 //! normalized to the no-prefetch baseline, plus the geomean and the
 //! prefetch-sensitive geomean.
 
-use bfetch_bench::{print_speedup_table, speedups_vs_baseline, summary_rows, Opts};
+use bfetch_bench::{
+    print_speedup_table, rows_to_json, speedups_vs_baseline, summary_rows, Harness, Opts,
+};
 use bfetch_sim::PrefetcherKind;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     let kinds = [
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::BFetch,
     ];
-    let mut rows = speedups_vs_baseline(&opts, &kinds);
+    let headers = ["stride", "sms", "bfetch"];
+    let mut rows = speedups_vs_baseline(&harness, &opts, &kinds);
     rows.extend(summary_rows(&rows));
-    print_speedup_table(
-        "Figure 8: single-threaded speedups (vs no-prefetch baseline)",
-        &["stride", "sms", "bfetch"],
-        &rows,
-    );
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+    } else {
+        print_speedup_table(
+            "Figure 8: single-threaded speedups (vs no-prefetch baseline)",
+            &headers,
+            &rows,
+        );
+    }
 }

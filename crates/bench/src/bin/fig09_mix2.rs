@@ -1,25 +1,30 @@
 //! Figure 9: normalized weighted speedup for the 29 highest-contention
 //! 2-application mixes (FOA selection), Stride vs SMS vs B-Fetch.
 
-use bfetch_bench::{mix_summary, mix_weighted_speedups, Opts};
+use bfetch_bench::{mix_summary, mix_weighted_speedups, rows_to_json, Harness, Opts};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::Table;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     let kinds = [
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::BFetch,
     ];
-    let mut rows = mix_weighted_speedups(&opts, 2, &kinds);
+    let headers = ["stride", "sms", "bfetch"];
+    let mut rows = mix_weighted_speedups(&harness, &opts, 2, &kinds);
     rows.push(mix_summary(&rows));
-    let mut t = Table::new(vec![
-        "mix".into(),
-        "stride".into(),
-        "sms".into(),
-        "bfetch".into(),
-    ]);
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("mix".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
     for (name, vals) in &rows {
         t.row(
             std::iter::once(name.clone())

@@ -1,24 +1,32 @@
 //! Figure 11: useful vs useless prefetches issued by SMS and B-Fetch per
 //! benchmark — the accuracy argument behind B-Fetch's multiprogrammed wins.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::Table;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
-    let mut t = Table::new(vec![
-        "benchmark".into(),
-        "sms useful".into(),
-        "sms useless".into(),
-        "bfetch useful".into(),
-        "bfetch useless".into(),
-    ]);
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(
+        &kernels,
+        &[
+            ("sms", opts.config(PrefetcherKind::Sms)),
+            ("bfetch", opts.config(PrefetcherKind::BFetch)),
+        ],
+        opts.instructions,
+        opts.scale,
+    );
+    let out = harness.run(&spec);
+
+    let headers = ["sms useful", "sms useless", "bfetch useful", "bfetch useless"];
     let mut totals = [0u64; 4];
-    for k in kernels() {
-        let sms = run_kernel(k, &opts.config(PrefetcherKind::Sms), &opts).mem;
-        let bf = run_kernel(k, &opts.config(PrefetcherKind::BFetch), &opts).mem;
+    let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for k in &kernels {
+        let sms = out.result(&format!("{}/sms", k.name)).mem;
+        let bf = out.result(&format!("{}/bfetch", k.name)).mem;
         let row = [
             sms.prefetch_useful,
             sms.prefetch_useless,
@@ -28,17 +36,26 @@ fn main() {
         for (tot, v) in totals.iter_mut().zip(row.iter()) {
             *tot += v;
         }
+        rows.push((k.name, row.iter().map(|&v| v as f64).collect()));
+    }
+    rows.push(("TOTAL", totals.iter().map(|&v| v as f64).collect()));
+
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &rows {
         t.row(
-            std::iter::once(k.name.to_string())
-                .chain(row.iter().map(|v| v.to_string()))
+            std::iter::once(name.to_string())
+                .chain(vals.iter().map(|v| format!("{v:.0}")))
                 .collect(),
         );
     }
-    t.row(
-        std::iter::once("TOTAL".to_string())
-            .chain(totals.iter().map(|v| v.to_string()))
-            .collect(),
-    );
     println!("== Figure 11: useful and useless prefetches issued ==");
     print!("{t}");
     println!();

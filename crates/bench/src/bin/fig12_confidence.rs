@@ -1,31 +1,34 @@
 //! Figure 12: sensitivity of B-Fetch to the branch path-confidence
 //! threshold (0.45 / 0.75 / 0.90).
 
-use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_bench::{
+    print_speedup_table, rows_to_json, speedup_grid, summary_rows, Harness, Opts,
+};
 use bfetch_sim::PrefetcherKind;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     let thresholds = [0.45, 0.75, 0.90];
-    let base_cfg = opts.config(PrefetcherKind::None);
-    let mut rows = Vec::new();
-    for k in kernels() {
-        let base = run_kernel(k, &base_cfg, &opts).ipc();
-        let vals = thresholds
-            .iter()
-            .map(|&t| {
-                let mut cfg = opts.config(PrefetcherKind::BFetch);
-                cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
-                run_kernel(k, &cfg, &opts).ipc() / base
-            })
-            .collect();
-        rows.push((k.name, vals));
-    }
+    let headers = ["conf=0.45", "conf=0.75", "conf=0.90"];
+    let columns: Vec<(&str, _)> = headers
+        .iter()
+        .zip(thresholds.iter())
+        .map(|(&h, &t)| {
+            let mut cfg = opts.config(PrefetcherKind::BFetch);
+            cfg.bfetch = cfg.bfetch.with_confidence_threshold(t);
+            (h, cfg)
+        })
+        .collect();
+    let mut rows = speedup_grid(&harness, &opts, &columns);
     rows.extend(summary_rows(&rows));
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
     print_speedup_table(
         "Figure 12: branch confidence threshold sensitivity (B-Fetch speedup)",
-        &["conf=0.45", "conf=0.75", "conf=0.90"],
+        &headers,
         &rows,
     );
     println!();

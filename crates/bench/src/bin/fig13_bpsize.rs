@@ -2,45 +2,69 @@
 //! 6.55 KB tournament baseline), reporting baseline IPC, B-Fetch IPC, the
 //! speedup, and the suite misprediction rate at each size.
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{rows_to_json, Harness, Opts, SweepSpec};
 use bfetch_sim::PrefetcherKind;
 use bfetch_stats::{geomean, mean, Table};
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
     let scales = [0.5, 1.0, 2.0, 4.0];
+
+    // one sweep: the 1x no-prefetch reference plus (scale × {base,bfetch})
+    let mut cfgs: Vec<(String, _)> = vec![("ref".to_string(), opts.config(PrefetcherKind::None))];
+    for &s in &scales {
+        cfgs.push((
+            format!("base/{s}"),
+            opts.config(PrefetcherKind::None).with_bpred_scale(s),
+        ));
+        cfgs.push((
+            format!("bfetch/{s}"),
+            opts.config(PrefetcherKind::BFetch).with_bpred_scale(s),
+        ));
+    }
+    let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for &s in &scales {
+        let mut base_ratio = Vec::new();
+        let mut bf_ratio = Vec::new();
+        let mut rates = Vec::new();
+        for k in &kernels {
+            let ref_ipc = out.result(&format!("{}/ref", k.name)).ipc();
+            let b = out.result(&format!("{}/base/{s}", k.name));
+            let f = out.result(&format!("{}/bfetch/{s}", k.name));
+            base_ratio.push(b.ipc() / ref_ipc);
+            bf_ratio.push(f.ipc() / ref_ipc);
+            rates.push(b.bp_miss_rate());
+        }
+        rows.push((
+            format!("{s}x"),
+            vec![geomean(&base_ratio), geomean(&bf_ratio), mean(&rates)],
+        ));
+    }
+
+    let headers = ["baseline speedup", "bfetch speedup", "miss rate"];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
     let mut t = Table::new(vec![
         "predictor size".into(),
         "baseline speedup".into(),
         "bfetch speedup".into(),
         "miss rate".into(),
     ]);
-    // the 1x no-prefetch system is the figure's normalization point
-    let mut ref_ipcs = Vec::new();
-    for k in kernels() {
-        ref_ipcs.push(run_kernel(k, &opts.config(PrefetcherKind::None), &opts).ipc());
-    }
-    for &s in &scales {
-        let mut base_cfg = opts.config(PrefetcherKind::None);
-        base_cfg.bpred_scale = s;
-        let mut bf_cfg = opts.config(PrefetcherKind::BFetch);
-        bf_cfg.bpred_scale = s;
-        let mut base_ratio = Vec::new();
-        let mut bf_ratio = Vec::new();
-        let mut rates = Vec::new();
-        for (k, &ref_ipc) in kernels().iter().zip(ref_ipcs.iter()) {
-            let b = run_kernel(k, &base_cfg, &opts);
-            let f = run_kernel(k, &bf_cfg, &opts);
-            base_ratio.push(b.ipc() / ref_ipc);
-            bf_ratio.push(f.ipc() / ref_ipc);
-            rates.push(b.bp_miss_rate());
-        }
+    for (name, vals) in &rows {
         t.row(vec![
-            format!("{s}x"),
-            format!("{:.4}", geomean(&base_ratio)),
-            format!("{:.4}", geomean(&bf_ratio)),
-            format!("{:.2}%", 100.0 * mean(&rates)),
+            name.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.2}%", 100.0 * vals[2]),
         ]);
     }
     println!("== Figure 13: branch predictor size sensitivity ==");

@@ -1,30 +1,52 @@
 //! Figure 14: B-Fetch speedup across CPU pipeline widths (2/4/8-wide),
 //! each width normalized to the no-prefetch baseline of the same width.
 
-use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_bench::{print_speedup_table, rows_to_json, summary_rows, Harness, Opts, SweepSpec};
 use bfetch_sim::PrefetcherKind;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
+    let kernels = opts.selected_kernels();
     let widths = [2usize, 4, 8];
-    let mut rows = Vec::new();
-    for k in kernels() {
+
+    let mut cfgs: Vec<(String, _)> = Vec::new();
+    for &w in &widths {
+        cfgs.push((
+            format!("base/{w}"),
+            opts.config(PrefetcherKind::None).with_width(w),
+        ));
+        cfgs.push((
+            format!("bfetch/{w}"),
+            opts.config(PrefetcherKind::BFetch).with_width(w),
+        ));
+    }
+    let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    let mut spec = SweepSpec::new();
+    spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for k in &kernels {
         let vals = widths
             .iter()
             .map(|&w| {
-                let base_cfg = opts.config(PrefetcherKind::None).with_width(w);
-                let bf_cfg = opts.config(PrefetcherKind::BFetch).with_width(w);
-                let base = run_kernel(k, &base_cfg, &opts).ipc();
-                run_kernel(k, &bf_cfg, &opts).ipc() / base
+                let base = out.result(&format!("{}/base/{w}", k.name)).ipc();
+                out.result(&format!("{}/bfetch/{w}", k.name)).ipc() / base
             })
             .collect();
         rows.push((k.name, vals));
     }
     rows.extend(summary_rows(&rows));
+
+    let headers = ["2-wide", "4-wide", "8-wide"];
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
     print_speedup_table(
         "Figure 14: CPU pipeline width sensitivity (B-Fetch speedup per width)",
-        &["2-wide", "4-wide", "8-wide"],
+        &headers,
         &rows,
     );
     println!();

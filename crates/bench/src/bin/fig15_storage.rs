@@ -2,12 +2,14 @@
 //! 64/128/256/512 entries (≈ 8.01 / 9.65 / 12.94 / 19.46 KB in Table I
 //! accounting).
 
-use bfetch_bench::{print_speedup_table, run_kernel, summary_rows, Opts};
+use bfetch_bench::{
+    print_speedup_table, rows_to_json, speedup_grid, summary_rows, Harness, Opts,
+};
 use bfetch_sim::PrefetcherKind;
-use bfetch_workloads::kernels;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = Opts::parse_or_exit();
+    let harness = Harness::from_opts(&opts);
     // our kernels' static code is far smaller than SPEC's, so the capacity
     // knee sits lower than the paper's 64-512 sweep; include tiny tables to
     // expose it
@@ -22,22 +24,22 @@ fn main() {
             format!("{kb:.2}KB")
         })
         .collect();
-    let base_cfg = opts.config(PrefetcherKind::None);
-    let mut rows = Vec::new();
-    for k in kernels() {
-        let base = run_kernel(k, &base_cfg, &opts).ipc();
-        let vals = entries
-            .iter()
-            .map(|&e| {
-                let mut cfg = opts.config(PrefetcherKind::BFetch);
-                cfg.bfetch = cfg.bfetch.with_table_entries(e);
-                run_kernel(k, &cfg, &opts).ipc() / base
-            })
-            .collect();
-        rows.push((k.name, vals));
-    }
+    let columns: Vec<(&str, _)> = labels
+        .iter()
+        .zip(entries.iter())
+        .map(|(label, &e)| {
+            let mut cfg = opts.config(PrefetcherKind::BFetch);
+            cfg.bfetch = cfg.bfetch.with_table_entries(e);
+            (label.as_str(), cfg)
+        })
+        .collect();
+    let mut rows = speedup_grid(&harness, &opts, &columns);
     rows.extend(summary_rows(&rows));
     let header_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    if opts.json {
+        println!("{}", rows_to_json(&header_refs, &rows));
+        return;
+    }
     print_speedup_table(
         "Figure 15: B-Fetch storage sensitivity",
         &header_refs,

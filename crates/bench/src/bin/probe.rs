@@ -1,46 +1,67 @@
 //! Diagnostic probe: per-kernel prefetcher internals (not a paper figure).
+//! Select kernels with `--kernels a,b,c` (default: libquantum only).
 
-use bfetch_bench::{run_kernel, Opts};
+use bfetch_bench::{Harness, Opts, SweepSpec};
 use bfetch_sim::PrefetcherKind;
 use bfetch_workloads::kernel_by_name;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(|s| s.as_str()).unwrap_or("libquantum");
-    let opts = Opts {
-        instructions: 60_000,
-        warmup: 20_000,
-        scale: bfetch_workloads::Scale::Small,
+    let mut opts = Opts::parse_or_exit();
+    // the probe is a quick diagnostic: small defaults unless overridden
+    if !std::env::args().any(|a| a == "--instructions" || a == "-n") {
+        opts.instructions = 60_000;
+    }
+    if !std::env::args().any(|a| a == "--warmup") {
+        opts.warmup = 20_000;
+    }
+    opts.scale = bfetch_workloads::Scale::Small;
+    let kernels = match &opts.kernels {
+        Some(_) => opts.selected_kernels(),
+        None => vec![kernel_by_name("libquantum").unwrap()],
     };
-    let k = kernel_by_name(name).expect("known kernel");
-    for kind in [
+    let kinds = [
         PrefetcherKind::None,
         PrefetcherKind::Stride,
         PrefetcherKind::Sms,
         PrefetcherKind::BFetch,
         PrefetcherKind::Perfect,
-    ] {
-        let r = run_kernel(k, &opts.config(kind), &opts);
-        println!(
-            "{:10} ipc={:.3} l1dmiss={} merges={} pf: issued={} redundant={} mshr_drop={} useful={} useless={} late={}",
-            kind.name(),
-            r.ipc(),
-            r.mem.l1d_misses,
-            r.mem.mshr_merges,
-            r.mem.prefetch_issued,
-            r.mem.prefetch_redundant,
-            r.mem.prefetch_mshr_drops,
-            r.mem.prefetch_useful,
-            r.mem.prefetch_useless,
-            r.mem.prefetch_late,
-        );
-        if let Some(e) = r.engine {
+    ];
+
+    let harness = Harness::from_opts(&opts);
+    let mut spec = SweepSpec::new();
+    let cfgs: Vec<(&str, _)> = kinds.iter().map(|&kind| (kind.name(), opts.config(kind))).collect();
+    spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+
+    if opts.json {
+        println!("{}", out.to_json());
+        return;
+    }
+    for k in &kernels {
+        println!("=== {} ===", k.name);
+        for kind in kinds {
+            let r = out.result(&format!("{}/{}", k.name, kind.name()));
             println!(
-                "  engine: lookaheads={} walked={} conf_stop={} brtc_stop={} depth_stop={} candidates={} filtered={} qovf={} dbr_drop={} depth={:.1}",
-                e.lookaheads, e.branches_walked, e.confidence_stops, e.brtc_stops,
-                e.depth_stops, e.candidates, e.filtered, e.queue_overflow, e.dbr_dropped,
-                e.mean_depth()
+                "{:10} ipc={:.3} l1dmiss={} merges={} pf: issued={} redundant={} mshr_drop={} useful={} useless={} late={}",
+                kind.name(),
+                r.ipc(),
+                r.mem.l1d_misses,
+                r.mem.mshr_merges,
+                r.mem.prefetch_issued,
+                r.mem.prefetch_redundant,
+                r.mem.prefetch_mshr_drops,
+                r.mem.prefetch_useful,
+                r.mem.prefetch_useless,
+                r.mem.prefetch_late,
             );
+            if let Some(e) = r.engine {
+                println!(
+                    "  engine: lookaheads={} walked={} conf_stop={} brtc_stop={} depth_stop={} candidates={} filtered={} qovf={} dbr_drop={} depth={:.1}",
+                    e.lookaheads, e.branches_walked, e.confidence_stops, e.brtc_stops,
+                    e.depth_stops, e.candidates, e.filtered, e.queue_overflow, e.dbr_dropped,
+                    e.mean_depth()
+                );
+            }
         }
     }
 }

@@ -7,30 +7,35 @@
 //!     --kernels mcf,libquantum --prefetcher bfetch --instructions 500000
 //! ```
 
+use bfetch_bench::{GridPoint, Harness, SweepSpec};
 use bfetch_core::BFetchConfig;
 use bfetch_prefetch::{Isb, Prefetcher, Sms, Stride};
 use bfetch_sim::energy::{estimate, EnergyParams};
-use bfetch_sim::{run_multi, PredictorKind, PrefetcherKind, SimConfig};
+use bfetch_sim::{PredictorKind, PrefetcherKind, SimConfig};
 use bfetch_stats::Table;
-use bfetch_workloads::{kernel_by_name, kernels, Scale};
+use bfetch_workloads::{kernel_by_name, kernels, Kernel, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--kernels a,b,..] [--prefetcher none|nextn|stride|sms|isb|bfetch|perfect]\n\
-         \x20               [--predictor tournament|perceptron] [--width N] [--instructions N]\n\
+         \x20               [--predictor tournament|perceptron] [--width N] [--instructions N | -n N]\n\
          \x20               [--warmup N] [--small] [--writebacks] [--forwarding] [--row-dram]\n\
-         \x20               [--confidence T] [--list]"
+         \x20               [--confidence T] [--threads N] [--json] [--no-cache] [--cache-dir P]\n\
+         \x20               [--list]"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let mut names = vec!["libquantum".to_string()];
-    let mut cfg = SimConfig::baseline();
+    let mut cfg = SimConfig::baseline().with_warmup(100_000);
     let mut insts = 200_000u64;
     let mut scale = Scale::Full;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    cfg.warmup_insts = 100_000;
     while let Some(a) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -63,7 +68,7 @@ fn main() {
                 return;
             }
             "--prefetcher" => {
-                cfg.prefetcher = match val().as_str() {
+                cfg = cfg.with_prefetcher(match val().as_str() {
                     "none" => PrefetcherKind::None,
                     "nextn" => PrefetcherKind::NextN(4),
                     "stride" => PrefetcherKind::Stride,
@@ -72,40 +77,50 @@ fn main() {
                     "bfetch" => PrefetcherKind::BFetch,
                     "perfect" => PrefetcherKind::Perfect,
                     _ => usage(),
-                }
+                })
             }
             "--predictor" => {
-                cfg.predictor = match val().as_str() {
+                cfg = cfg.with_predictor(match val().as_str() {
                     "tournament" => PredictorKind::Tournament,
                     "perceptron" => PredictorKind::Perceptron,
                     _ => usage(),
-                }
+                })
             }
             "--width" => cfg = cfg.with_width(val().parse().unwrap_or_else(|_| usage())),
-            "--instructions" => insts = val().parse().unwrap_or_else(|_| usage()),
-            "--warmup" => cfg.warmup_insts = val().parse().unwrap_or_else(|_| usage()),
+            "--instructions" | "-n" => insts = val().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => cfg = cfg.with_warmup(val().parse().unwrap_or_else(|_| usage())),
             "--small" => scale = Scale::Small,
-            "--writebacks" => cfg.model_writebacks = true,
-            "--forwarding" => cfg.store_forwarding = true,
-            "--row-dram" => cfg.dram = bfetch_mem::DramConfig::with_row_model(),
+            "--writebacks" => cfg = cfg.with_writebacks(true),
+            "--forwarding" => cfg = cfg.with_store_forwarding(true),
+            "--row-dram" => cfg = cfg.with_dram(bfetch_mem::DramConfig::with_row_model()),
             "--confidence" => {
                 cfg.bfetch = cfg
                     .bfetch
                     .with_confidence_threshold(val().parse().unwrap_or_else(|_| usage()))
             }
-            _ => usage(),
+            "--threads" => {
+                threads = val().parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    usage()
+                }
+            }
+            "--json" => json = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => cache_dir = Some(val()),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage()
+            }
         }
     }
 
-    let programs: Vec<_> = names
+    let members: Vec<&'static Kernel> = names
         .iter()
         .map(|n| {
-            kernel_by_name(n)
-                .unwrap_or_else(|| {
-                    eprintln!("unknown kernel {n:?} (try --list)");
-                    std::process::exit(2)
-                })
-                .build(scale)
+            kernel_by_name(n).unwrap_or_else(|| {
+                eprintln!("unknown kernel {n:?} (try --list)");
+                std::process::exit(2)
+            })
         })
         .collect();
 
@@ -117,7 +132,21 @@ fn main() {
         _ => 0.0,
     };
 
-    let results = run_multi(&programs, &cfg, insts);
+    let mut harness = Harness::new(threads);
+    if no_cache {
+        harness = harness.without_cache();
+    } else if let Some(dir) = cache_dir {
+        harness = harness.with_cache_dir(dir);
+    }
+    let mut spec = SweepSpec::new();
+    spec.push(GridPoint::mix("run", members.clone(), cfg.clone(), insts, scale));
+    let out = harness.run(&spec);
+    if json {
+        println!("{}", out.to_json());
+        return;
+    }
+    let results = out.results("run");
+
     let mut t = Table::new(vec![
         "core".into(),
         "workload".into(),
@@ -148,7 +177,7 @@ fn main() {
         "prefetcher={} predictor={:?} cores={} insts={insts}",
         cfg.prefetcher.name(),
         cfg.predictor,
-        programs.len()
+        members.len()
     );
     print!("{t}");
     if let Some(e) = &results[0].engine {

@@ -1,12 +1,52 @@
 //! Table I: hardware storage overhead of B-Fetch vs SMS, computed from the
-//! configured structure geometries.
+//! configured structure geometries. No simulation runs — the table is pure
+//! accounting — but the shared option parser still provides `--help`/`--json`.
 
+use bfetch_bench::harness::jsonio::Json;
+use bfetch_bench::Opts;
 use bfetch_core::BFetchConfig;
 use bfetch_prefetch::{Prefetcher, Sms, Stride};
 use bfetch_stats::Table;
 
 fn main() {
+    let opts = Opts::parse_or_exit();
     let report = BFetchConfig::baseline().storage_report();
+    let sms = Sms::baseline();
+    let stride = Stride::degree8();
+
+    if opts.json {
+        let mut rows: Vec<Json> = report
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(vec![
+                    ("prefetcher".into(), Json::Str("bfetch".into())),
+                    ("component".into(), Json::Str(row.component.into())),
+                    ("entries".into(), Json::u64_of(row.entries as u64)),
+                    ("kb".into(), Json::f64_of(row.kb)),
+                ])
+            })
+            .collect();
+        rows.push(Json::Obj(vec![
+            ("prefetcher".into(), Json::Str("sms".into())),
+            ("component".into(), Json::Str("AGT + PHT".into())),
+            ("entries".into(), Json::u64_of(sms.config().pht_entries as u64)),
+            ("kb".into(), Json::f64_of(sms.storage_kb())),
+        ]));
+        rows.push(Json::Obj(vec![
+            ("prefetcher".into(), Json::Str("stride".into())),
+            ("component".into(), Json::Str("Reference prediction table".into())),
+            ("entries".into(), Json::u64_of(256)),
+            ("kb".into(), Json::f64_of(stride.storage_kb())),
+        ]));
+        let doc = Json::Obj(vec![
+            ("bfetch_total_kb".into(), Json::f64_of(report.total_kb())),
+            ("rows".into(), Json::Arr(rows)),
+        ]);
+        println!("{doc}");
+        return;
+    }
+
     let mut t = Table::new(vec![
         "prefetcher".into(),
         "component".into(),
@@ -32,14 +72,12 @@ fn main() {
         format!("{:.2}", report.total_kb()),
     ]);
 
-    let sms = Sms::baseline();
     t.row(vec![
         "SMS".into(),
         "AGT + PHT (2KB regions, 16K-entry PHT)".into(),
         format!("{}", sms.config().pht_entries),
         format!("{:.2}", sms.storage_kb()),
     ]);
-    let stride = Stride::degree8();
     t.row(vec![
         "Stride".into(),
         "Reference prediction table".into(),

@@ -1,0 +1,227 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every grid point is identified by a canonical key string covering the
+//! cache schema version, the workload members, the scale, the instruction
+//! budget, and the *entire* `SimConfig` (via its `Debug` rendering, which
+//! recursively includes every nested config struct — any field added to
+//! any config automatically changes the key). The key is hashed to a
+//! 128-bit filename; the full key string is stored in the file header and
+//! compared on load, so a hash collision degrades to a miss, never to a
+//! wrong result.
+//!
+//! Files are written to a temp name and renamed into place, so a crashed
+//! or concurrent run can never leave a torn cache entry.
+
+use super::jsonio::{result_from_json, result_to_json, Json};
+use bfetch_sim::RunResult;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumped whenever the key derivation or the stored JSON layout changes;
+/// old entries then simply miss.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a, the filename hash's first half.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A second, independent 64-bit hash (SplitMix64 finalizer folded over
+/// the bytes) for the filename's second half.
+fn alt64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &b in bytes {
+        h = bfetch_prng::mix64(h ^ b as u64);
+    }
+    h
+}
+
+/// The cache filename (without directory) for a canonical key.
+pub fn file_name(key: &str) -> String {
+    format!("{:016x}{:016x}.json", fnv1a64(key.as_bytes()), alt64(key.as_bytes()))
+}
+
+/// On-disk store mapping canonical keys to `Vec<RunResult>`.
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (and creates if needed) a cache at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The default location: `$BFETCH_CACHE_DIR` or `results/cache/`
+    /// under the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("BFETCH_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results").join("cache"))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Loads the results stored under `key`, verifying the schema version
+    /// and the full key string (so hash collisions and stale schemas read
+    /// as misses). Counts a hit or miss.
+    pub fn load(&self, key: &str) -> Option<Vec<RunResult>> {
+        let loaded = self.try_load(key);
+        if loaded.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    fn try_load(&self, key: &str) -> Option<Vec<RunResult>> {
+        let text = std::fs::read_to_string(self.dir.join(file_name(key))).ok()?;
+        let doc = Json::parse(&text)?;
+        if doc.get("schema")?.as_u64()? != SCHEMA_VERSION as u64 {
+            return None;
+        }
+        if doc.get("key")?.as_str()? != key {
+            return None; // 128-bit hash collision: treat as a miss
+        }
+        match doc.get("results")? {
+            Json::Arr(items) => items.iter().map(result_from_json).collect(),
+            _ => None,
+        }
+    }
+
+    /// Stores `results` under `key` atomically (write temp, then rename).
+    pub fn store(&self, key: &str, results: &[RunResult]) -> std::io::Result<()> {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::u64_of(SCHEMA_VERSION as u64)),
+            ("key".into(), Json::Str(key.to_string())),
+            (
+                "results".into(),
+                Json::Arr(results.iter().map(result_to_json).collect()),
+            ),
+        ]);
+        let final_path = self.dir.join(file_name(key));
+        let tmp_path = self.dir.join(format!(
+            "{}.tmp.{}",
+            file_name(key),
+            std::process::id()
+        ));
+        std::fs::write(&tmp_path, doc.to_string())?;
+        std::fs::rename(&tmp_path, &final_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfetch_mem::MemStats;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "bfetch-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn result(workload: &str, cycles: u64) -> RunResult {
+        RunResult {
+            workload: workload.into(),
+            prefetcher: "stride",
+            cycles,
+            instructions: 1000,
+            mem: MemStats::default(),
+            cond_branches: 10,
+            mispredicts: 1,
+            branch_fetch_hist: [5, 4, 3, 2, 1],
+            engine: None,
+            pf_metadata_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = ResultCache::new(tmp_dir("roundtrip")).unwrap();
+        let rs = vec![result("mcf", 123), result("astar", 456)];
+        cache.store("k1", &rs).unwrap();
+        assert_eq!(cache.load("k1").unwrap(), rs);
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn absent_key_is_a_miss() {
+        let cache = ResultCache::new(tmp_dir("miss")).unwrap();
+        assert!(cache.load("nope").is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_mismatch_in_file_reads_as_miss() {
+        // simulate a filename collision: a file stored at key A's path but
+        // holding key B's header must not satisfy a lookup for A
+        let cache = ResultCache::new(tmp_dir("collide")).unwrap();
+        cache.store("real-key", &[result("mcf", 1)]).unwrap();
+        let colliding = cache.dir().join(file_name("other-key"));
+        std::fs::copy(cache.dir().join(file_name("real-key")), colliding).unwrap();
+        assert!(cache.load("other-key").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_file_reads_as_miss() {
+        let cache = ResultCache::new(tmp_dir("corrupt")).unwrap();
+        std::fs::write(cache.dir().join(file_name("k")), "{ not json").unwrap();
+        assert!(cache.load("k").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let cache = ResultCache::new(tmp_dir("schema")).unwrap();
+        cache.store("k", &[result("mcf", 1)]).unwrap();
+        let path = cache.dir().join(file_name("k"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\":1", "\"schema\":999");
+        std::fs::write(&path, text).unwrap();
+        assert!(cache.load("k").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn filenames_are_stable_and_key_sensitive() {
+        let a = file_name("key-a");
+        assert_eq!(a, file_name("key-a"));
+        assert_ne!(a, file_name("key-b"));
+        assert_eq!(a.len(), 32 + 5);
+        assert!(a.ends_with(".json"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The experiment harness: declarative sweeps, a work-stealing parallel
+//! executor, and a content-addressed result cache.
+//!
+//! A figure binary used to be a nest of serial loops calling
+//! `run_single`/`run_multi` directly. With the harness it instead
+//! *declares* its grid — every (workload × config × instruction-budget)
+//! point it needs — and hands the whole sweep to [`Harness::run`], which:
+//!
+//! 1. executes points on `--threads N` workers (work-stealing, so a slow
+//!    8-core mix doesn't serialize behind finished singles),
+//! 2. serves any point it has seen before from `results/cache/`
+//!    (content-addressed by a schema-versioned canonical key), and
+//! 3. collects outcomes **in input order**, so stdout is bit-identical
+//!    whatever the thread count or cache state.
+//!
+//! Timings and cache statistics go to stderr only; `--json` renders the
+//! raw results machine-readably on stdout.
+
+pub mod cache;
+pub mod executor;
+pub mod jsonio;
+
+use crate::opts::Opts;
+use bfetch_sim::{run_multi, run_single, RunResult, SimConfig};
+use bfetch_workloads::{Kernel, Scale};
+use cache::ResultCache;
+use jsonio::Json;
+use std::time::Instant;
+
+/// One experiment point: a workload (single kernel or a mix) under one
+/// configuration for one instruction budget.
+#[derive(Clone)]
+pub struct GridPoint {
+    /// Unique label within a sweep; outcomes are addressed by it.
+    pub label: String,
+    /// The kernels on the CMP's cores (one entry = single-core run).
+    pub members: Vec<&'static Kernel>,
+    /// Full system configuration.
+    pub config: SimConfig,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Workload footprint scale.
+    pub scale: Scale,
+}
+
+impl GridPoint {
+    /// A single-core point.
+    pub fn single(
+        label: impl Into<String>,
+        kernel: &'static Kernel,
+        config: SimConfig,
+        instructions: u64,
+        scale: Scale,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            members: vec![kernel],
+            config,
+            instructions,
+            scale,
+        }
+    }
+
+    /// A multiprogrammed point (one core per member).
+    pub fn mix(
+        label: impl Into<String>,
+        members: Vec<&'static Kernel>,
+        config: SimConfig,
+        instructions: u64,
+        scale: Scale,
+    ) -> Self {
+        assert!(!members.is_empty(), "a mix needs at least one member");
+        Self {
+            label: label.into(),
+            members,
+            config,
+            instructions,
+            scale,
+        }
+    }
+
+    /// The canonical cache key: schema version, members, scale,
+    /// instruction budget, and the complete configuration (`Debug`
+    /// rendering, which recursively covers every nested config field).
+    /// The label is deliberately excluded — two binaries labelling the
+    /// same simulation differently share one cache entry.
+    pub fn cache_key(&self) -> String {
+        let members: Vec<&str> = self.members.iter().map(|k| k.name).collect();
+        format!(
+            "v{}|members={}|scale={:?}|insts={}|cfg={:?}",
+            cache::SCHEMA_VERSION,
+            members.join("+"),
+            self.scale,
+            self.instructions,
+            self.config,
+        )
+    }
+
+    /// Runs the simulation for this point (no caching at this level).
+    pub fn execute(&self) -> Vec<RunResult> {
+        if self.members.len() == 1 {
+            let program = self.members[0].build(self.scale);
+            vec![run_single(&program, &self.config, self.instructions)]
+        } else {
+            let programs: Vec<_> = self.members.iter().map(|k| k.build(self.scale)).collect();
+            run_multi(&programs, &self.config, self.instructions)
+        }
+    }
+}
+
+/// An ordered collection of grid points; the declarative description of
+/// everything one experiment needs simulated.
+#[derive(Clone, Default)]
+pub struct SweepSpec {
+    /// The points, in the order outcomes will be returned.
+    pub points: Vec<GridPoint>,
+}
+
+impl SweepSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point and returns its index.
+    pub fn push(&mut self, point: GridPoint) -> usize {
+        self.points.push(point);
+        self.points.len() - 1
+    }
+
+    /// Appends one single-core point per (kernel, labelled config) pair —
+    /// the common kernel × config grid, labelled `"{kernel}/{name}"`.
+    pub fn push_grid(
+        &mut self,
+        kernels: &[&'static Kernel],
+        configs: &[(&str, SimConfig)],
+        instructions: u64,
+        scale: Scale,
+    ) {
+        for &k in kernels {
+            for (name, cfg) in configs {
+                self.push(GridPoint::single(
+                    format!("{}/{}", k.name, name),
+                    k,
+                    cfg.clone(),
+                    instructions,
+                    scale,
+                ));
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A named sweep, for observability: the harness prefixes its stderr
+/// report with the experiment name.
+pub struct Experiment {
+    pub name: String,
+    pub spec: SweepSpec,
+}
+
+impl Experiment {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            spec: SweepSpec::new(),
+        }
+    }
+
+    pub fn push(&mut self, point: GridPoint) -> usize {
+        self.spec.push(point)
+    }
+}
+
+/// The outcome of one grid point.
+pub struct PointOutcome {
+    /// The point's label, copied from the spec.
+    pub label: String,
+    /// One result per core, in core order.
+    pub results: Vec<RunResult>,
+    /// Whether the result was served from the on-disk cache.
+    pub from_cache: bool,
+    /// Wall-clock spent on this point (load or simulate), milliseconds.
+    pub millis: f64,
+}
+
+/// Aggregate counters for one [`Harness::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Grid points in the sweep.
+    pub points: usize,
+    /// Points served from the cache.
+    pub cache_hits: usize,
+    /// Simulations actually executed.
+    pub sims_run: usize,
+    /// Total wall-clock for the sweep, milliseconds.
+    pub wall_millis: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Everything a sweep produced: per-point outcomes (input order) plus
+/// aggregate statistics.
+pub struct SweepOutcome {
+    pub outcomes: Vec<PointOutcome>,
+    pub stats: SweepStats,
+}
+
+impl SweepOutcome {
+    /// The outcome for `label`, if the sweep contained it.
+    pub fn get(&self, label: &str) -> Option<&PointOutcome> {
+        self.outcomes.iter().find(|o| o.label == label)
+    }
+
+    /// The single-core result for `label`; panics if the label is absent
+    /// (a programming error in the binary: the spec it built didn't
+    /// contain the point it is reading).
+    pub fn result(&self, label: &str) -> &RunResult {
+        &self
+            .get(label)
+            .unwrap_or_else(|| panic!("no grid point labelled {label:?} in this sweep"))
+            .results[0]
+    }
+
+    /// All results for `label` (mix points have one per core).
+    pub fn results(&self, label: &str) -> &[RunResult] {
+        &self
+            .get(label)
+            .unwrap_or_else(|| panic!("no grid point labelled {label:?} in this sweep"))
+            .results
+    }
+
+    /// Machine-readable rendering of the whole sweep (the `--json` mode).
+    ///
+    /// Deliberately omits everything run-dependent — thread count, cache
+    /// hits, wall clock — so the output is byte-identical whatever the
+    /// parallelism or cache state; those live in the stderr report.
+    pub fn to_json(&self) -> String {
+        let points = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("label".into(), Json::Str(o.label.clone())),
+                    (
+                        "results".into(),
+                        Json::Arr(o.results.iter().map(jsonio::result_to_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::u64_of(cache::SCHEMA_VERSION as u64)),
+            (
+                "stats".into(),
+                Json::Obj(vec![(
+                    "points".into(),
+                    Json::u64_of(self.stats.points as u64),
+                )]),
+            ),
+            ("points".into(), Json::Arr(points)),
+        ])
+        .to_string()
+    }
+}
+
+/// The executor + cache pairing that runs sweeps.
+pub struct Harness {
+    threads: usize,
+    cache: Option<ResultCache>,
+    quiet: bool,
+}
+
+impl Harness {
+    /// A harness with `threads` workers and the default cache directory.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            cache: ResultCache::new(ResultCache::default_dir()).ok(),
+            quiet: std::env::var_os("BFETCH_HARNESS_QUIET").is_some(),
+        }
+    }
+
+    /// A harness configured from the shared command-line options
+    /// (`--threads`, `--no-cache`, `--cache-dir`).
+    pub fn from_opts(opts: &Opts) -> Self {
+        let mut h = Self::new(opts.threads);
+        if opts.no_cache {
+            h.cache = None;
+        } else if let Some(dir) = &opts.cache_dir {
+            h.cache = ResultCache::new(dir).ok();
+        }
+        h
+    }
+
+    /// Disables the on-disk cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Uses a specific cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = ResultCache::new(dir).ok();
+        self
+    }
+
+    /// Suppresses the stderr report (tests).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs every point of `spec` and returns outcomes in spec order.
+    pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        self.run_named(None, spec)
+    }
+
+    /// Runs a named experiment (the name prefixes the stderr report).
+    pub fn run_experiment(&self, exp: &Experiment) -> SweepOutcome {
+        self.run_named(Some(&exp.name), &exp.spec)
+    }
+
+    fn run_named(&self, name: Option<&str>, spec: &SweepSpec) -> SweepOutcome {
+        let t0 = Instant::now();
+        let outcomes = executor::run_indexed(&spec.points, self.threads, |_, point| {
+            let pt0 = Instant::now();
+            let key = point.cache_key();
+            let (results, from_cache) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
+                Some(results) => (results, true),
+                None => {
+                    let results = point.execute();
+                    if let Some(c) = &self.cache {
+                        // a failed store only costs a future re-simulation
+                        let _ = c.store(&key, &results);
+                    }
+                    (results, false)
+                }
+            };
+            PointOutcome {
+                label: point.label.clone(),
+                results,
+                from_cache,
+                millis: pt0.elapsed().as_secs_f64() * 1e3,
+            }
+        });
+        let cache_hits = outcomes.iter().filter(|o| o.from_cache).count();
+        let stats = SweepStats {
+            points: outcomes.len(),
+            cache_hits,
+            sims_run: outcomes.len() - cache_hits,
+            wall_millis: t0.elapsed().as_secs_f64() * 1e3,
+            threads: self.threads,
+        };
+        if !self.quiet {
+            self.report(name, &outcomes, &stats);
+        }
+        SweepOutcome { outcomes, stats }
+    }
+
+    /// Observability: per-point wall clock and the sweep totals, on
+    /// stderr so stdout stays byte-identical across thread counts and
+    /// cache states.
+    fn report(&self, name: Option<&str>, outcomes: &[PointOutcome], stats: &SweepStats) {
+        let prefix = name.map_or_else(|| "harness".to_string(), |n| format!("harness:{n}"));
+        for o in outcomes {
+            eprintln!(
+                "[{prefix}] {:<32} {:>9.1} ms  {}",
+                o.label,
+                o.millis,
+                if o.from_cache { "cached" } else { "simulated" }
+            );
+        }
+        eprintln!(
+            "[{prefix}] {} points in {:.2}s on {} thread{}: {} cached, {} simulated{}",
+            stats.points,
+            stats.wall_millis / 1e3,
+            stats.threads,
+            if stats.threads == 1 { "" } else { "s" },
+            stats.cache_hits,
+            stats.sims_run,
+            if self.cache.is_none() {
+                " (cache disabled)"
+            } else {
+                ""
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfetch_sim::PrefetcherKind;
+    use bfetch_workloads::kernel_by_name;
+
+    fn quick_cfg(kind: PrefetcherKind) -> SimConfig {
+        SimConfig::baseline().with_prefetcher(kind).with_warmup(500)
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new();
+        for name in ["libquantum", "mcf"] {
+            let k = kernel_by_name(name).unwrap();
+            spec.push(GridPoint::single(
+                format!("{name}/base"),
+                k,
+                quick_cfg(PrefetcherKind::None),
+                2_000,
+                Scale::Small,
+            ));
+        }
+        spec
+    }
+
+    #[test]
+    fn outcomes_follow_spec_order_and_labels() {
+        let h = Harness::new(2).without_cache().quiet();
+        let out = h.run(&tiny_spec());
+        let labels: Vec<&str> = out.outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["libquantum/base", "mcf/base"]);
+        assert!(out.result("mcf/base").instructions >= 2_000);
+        assert_eq!(out.stats.sims_run, 2);
+        assert_eq!(out.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_key_covers_config_and_budget_not_label() {
+        let k = kernel_by_name("mcf").unwrap();
+        let mk = |label: &str, kind, insts| {
+            GridPoint::single(label, k, quick_cfg(kind), insts, Scale::Small)
+        };
+        let a = mk("one", PrefetcherKind::None, 1000);
+        assert_eq!(a.cache_key(), mk("two", PrefetcherKind::None, 1000).cache_key());
+        assert_ne!(a.cache_key(), mk("one", PrefetcherKind::Sms, 1000).cache_key());
+        assert_ne!(a.cache_key(), mk("one", PrefetcherKind::None, 1001).cache_key());
+        let mut wider = a.clone();
+        wider.config = wider.config.with_width(8);
+        assert_ne!(a.cache_key(), wider.cache_key());
+        let mut full = a.clone();
+        full.scale = Scale::Full;
+        assert_ne!(a.cache_key(), full.cache_key());
+    }
+
+    #[test]
+    fn push_grid_enumerates_kernels_times_configs() {
+        let mut spec = SweepSpec::new();
+        let ks = [
+            kernel_by_name("mcf").unwrap(),
+            kernel_by_name("astar").unwrap(),
+        ];
+        let cfgs = [
+            ("base", quick_cfg(PrefetcherKind::None)),
+            ("sms", quick_cfg(PrefetcherKind::Sms)),
+        ];
+        spec.push_grid(&ks, &cfgs, 1000, Scale::Small);
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.points[0].label, "mcf/base");
+        assert_eq!(spec.points[3].label, "astar/sms");
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let h = Harness::new(1).without_cache().quiet();
+        let out = h.run(&tiny_spec());
+        let doc = Json::parse(&out.to_json()).expect("valid json");
+        assert_eq!(doc.get("stats").unwrap().get("points").unwrap().as_u64(), Some(2));
+        match doc.get("points").unwrap() {
+            Json::Arr(points) => {
+                assert_eq!(points.len(), 2);
+                let first = &points[0];
+                assert_eq!(first.get("label").unwrap().as_str(), Some("libquantum/base"));
+                match first.get("results").unwrap() {
+                    Json::Arr(rs) => {
+                        let r = jsonio::result_from_json(&rs[0]).expect("decodable");
+                        assert!(r.instructions >= 2_000);
+                    }
+                    _ => panic!("results not an array"),
+                }
+            }
+            _ => panic!("points not an array"),
+        }
+    }
+}

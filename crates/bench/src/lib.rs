@@ -1,119 +1,87 @@
 //! # bfetch-bench
 //!
-//! The experiment harness that regenerates every table and figure of the
+//! The experiment driver that regenerates every table and figure of the
 //! paper's evaluation (see DESIGN.md §3 for the experiment index). Each
 //! figure has a binary (`cargo run --release -p bfetch-bench --bin figNN_*`)
-//! that prints the same rows/series the paper reports, plus a Criterion
-//! bench that exercises a reduced version of the same pipeline.
+//! that prints the same rows/series the paper reports.
 //!
-//! Binaries accept `--instructions N` (measured instructions per core,
-//! default 300k), `--warmup N`, and `--small` (reduced footprints) so runs
-//! can be scaled from smoke test to full evaluation.
+//! Binaries declare their experiment as a [`SweepSpec`] of [`GridPoint`]s
+//! and execute it through the [`Harness`], which parallelizes across
+//! `--threads N` workers and serves repeated points from a
+//! content-addressed cache under `results/cache/` (see the [`harness`]
+//! module). Common flags ([`Opts`]): `--instructions N`, `--warmup N`,
+//! `--small`, `--threads N`, `--kernels a,b,c`, `--json`, `--no-cache`,
+//! `--cache-dir PATH`.
+
+pub mod harness;
+pub mod opts;
+
+pub use harness::{
+    Experiment, GridPoint, Harness, PointOutcome, SweepOutcome, SweepSpec, SweepStats,
+};
+pub use opts::{usage, Opts, OptsError};
 
 use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
 use bfetch_stats::geomean;
-use bfetch_workloads::{kernels, Kernel, Scale};
+use bfetch_workloads::{kernels, Kernel};
 
-/// Common command-line options for the figure binaries.
-#[derive(Debug, Clone, Copy)]
-pub struct Opts {
-    /// Measured instructions per core.
-    pub instructions: u64,
-    /// Warmup instructions per core.
-    pub warmup: u64,
-    /// Workload scale.
-    pub scale: Scale,
-}
-
-impl Default for Opts {
-    fn default() -> Self {
-        Self {
-            instructions: 300_000,
-            warmup: 150_000,
-            scale: Scale::Full,
-        }
-    }
-}
-
-impl Opts {
-    /// Parses the standard flags from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Self {
-        let mut o = Self::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--instructions" | "-n" => {
-                    o.instructions = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--instructions requires a count");
-                }
-                "--warmup" => {
-                    o.warmup = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--warmup requires a count");
-                }
-                "--small" => o.scale = Scale::Small,
-                other => {
-                    panic!("unknown flag {other}; supported: --instructions N, --warmup N, --small")
-                }
-            }
-        }
-        o
-    }
-
-    /// A [`SimConfig`] carrying this run's warmup and the given prefetcher.
-    pub fn config(&self, kind: PrefetcherKind) -> SimConfig {
-        let mut c = SimConfig::baseline().with_prefetcher(kind);
-        c.warmup_insts = self.warmup;
-        c
-    }
-}
-
-/// Runs `kernel` under `cfg` and returns the result.
+/// Runs `kernel` under `cfg` directly (no cache, current thread) and
+/// returns the result. Prefer building a [`SweepSpec`] and using the
+/// [`Harness`] for anything beyond a one-off.
 pub fn run_kernel(kernel: &Kernel, cfg: &SimConfig, opts: &Opts) -> RunResult {
     let program = kernel.build(opts.scale);
     run_single(&program, cfg, opts.instructions)
 }
 
-/// Per-kernel speedups of one prefetcher configuration against the
-/// no-prefetch baseline, in registry order. Kernels run on parallel
-/// threads (each simulation is self-contained and deterministic).
+/// Per-kernel speedups of labelled configurations against the
+/// no-prefetch baseline, over `opts.selected_kernels()`, computed through
+/// `harness` (parallel + cached).
+pub fn speedup_grid(
+    harness: &Harness,
+    opts: &Opts,
+    columns: &[(&str, SimConfig)],
+) -> Vec<(&'static str, Vec<f64>)> {
+    let kernels = opts.selected_kernels();
+    let mut spec = SweepSpec::new();
+    let mut cfgs: Vec<(&str, SimConfig)> = vec![("base", opts.config(PrefetcherKind::None))];
+    cfgs.extend(columns.iter().map(|(n, c)| (*n, c.clone())));
+    spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
+    let out = harness.run(&spec);
+    kernels
+        .iter()
+        .map(|k| {
+            let base = out.result(&format!("{}/base", k.name)).ipc();
+            let vals = columns
+                .iter()
+                .map(|(n, _)| out.result(&format!("{}/{}", k.name, n)).ipc() / base)
+                .collect();
+            (k.name, vals)
+        })
+        .collect()
+}
+
+/// [`speedup_grid`] for plain prefetcher-kind columns.
 pub fn speedups_vs_baseline(
+    harness: &Harness,
     opts: &Opts,
     kinds: &[PrefetcherKind],
 ) -> Vec<(&'static str, Vec<f64>)> {
-    parallel_over_kernels(|k| {
-        let base = run_kernel(k, &opts.config(PrefetcherKind::None), opts).ipc();
-        kinds
-            .iter()
-            .map(|&kind| run_kernel(k, &opts.config(kind), opts).ipc() / base)
-            .collect()
-    })
+    let columns: Vec<(&str, SimConfig)> = kinds
+        .iter()
+        .map(|&kind| (kind.name(), opts.config(kind)))
+        .collect();
+    speedup_grid(harness, opts, &columns)
 }
 
-/// Runs `f` for every kernel on its own thread and returns the results in
-/// registry order. Simulations share no state, so this is a pure fan-out;
-/// determinism is unaffected.
+/// Runs `f` for every kernel across worker threads and returns the
+/// results in registry order. Simulations share no state, so this is a
+/// pure fan-out; determinism is unaffected.
 pub fn parallel_over_kernels<F>(f: F) -> Vec<(&'static str, Vec<f64>)>
 where
     F: Fn(&'static Kernel) -> Vec<f64> + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = kernels()
-            .iter()
-            .map(|k| (k.name, scope.spawn(|| f(k))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|(name, h)| (name, h.join().expect("kernel thread panicked")))
-            .collect()
-    })
+    let ks: Vec<&'static Kernel> = kernels().iter().collect();
+    harness::executor::run_indexed(&ks, ks.len(), |_, k| (k.name, f(k)))
 }
 
 /// Appends the two summary rows the paper's per-benchmark figures carry:
@@ -155,77 +123,82 @@ pub fn summary_rows(rows: &[(&'static str, Vec<f64>)]) -> Vec<(&'static str, Vec
 /// prefetcher's weighted throughput gain in the mix (consistent with the
 /// paper's Figure 9/10 bars, which reach 2.6x).
 pub fn mix_weighted_speedups(
+    harness: &Harness,
     opts: &Opts,
     arity: usize,
     kinds: &[PrefetcherKind],
 ) -> Vec<(String, Vec<f64>)> {
-    mix_weighted_speedups_n(opts, arity, kinds, bfetch_workloads::NUM_MIXES)
+    mix_weighted_speedups_n(harness, opts, arity, kinds, bfetch_workloads::NUM_MIXES)
 }
 
 /// [`mix_weighted_speedups`] over only the `count` highest-contention
 /// mixes (the 8-core extension uses a reduced set).
 pub fn mix_weighted_speedups_n(
+    harness: &Harness,
     opts: &Opts,
     arity: usize,
     kinds: &[PrefetcherKind],
     count: usize,
 ) -> Vec<(String, Vec<f64>)> {
-    use bfetch_sim::run_multi;
-    use std::collections::HashMap;
-
     let mixes = bfetch_workloads::select_mixes(arity, count);
-    let mut solo: HashMap<(&'static str, &'static str), f64> = HashMap::new();
-    let mut solo_ipc = |k: &'static Kernel, kind: PrefetcherKind, opts: &Opts| -> f64 {
-        *solo
-            .entry((k.name, kind.name()))
-            .or_insert_with(|| run_kernel(k, &opts.config(kind), opts).ipc())
-    };
-
     let all_kinds: Vec<PrefetcherKind> = std::iter::once(PrefetcherKind::None)
         .chain(kinds.iter().copied())
         .collect();
-    // pre-compute the common solo weights serially (they are shared)
-    let weights: HashMap<&'static str, f64> = {
-        let mut w = HashMap::new();
-        for m in &mixes {
-            for k in &m.members {
-                let v = solo_ipc(k, PrefetcherKind::None, opts);
-                w.insert(k.name, v);
+
+    // one sweep holds everything: the common solo-weight runs (shared
+    // across mixes and columns) plus every (mix × config) CMP run
+    let mut spec = SweepSpec::new();
+    let mut solo_members: Vec<&'static Kernel> = Vec::new();
+    for m in &mixes {
+        for k in &m.members {
+            if !solo_members.iter().any(|s| s.name == k.name) {
+                solo_members.push(k);
             }
         }
-        w
-    };
-    // each (mix, config) simulation is independent: fan out across threads
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = mixes
-            .iter()
-            .map(|m| {
-                let all_kinds = &all_kinds;
-                let weights = &weights;
-                let name = m.name.clone();
-                let h = scope.spawn(move || {
-                    let programs: Vec<_> = m.members.iter().map(|k| k.build(opts.scale)).collect();
-                    let mut ws = Vec::new();
-                    for &kind in all_kinds {
-                        let results = run_multi(&programs, &opts.config(kind), opts.instructions);
-                        let pairs: Vec<(f64, f64)> = results
-                            .iter()
-                            .zip(m.members.iter())
-                            .map(|(r, k)| (r.ipc(), weights[k.name]))
-                            .collect();
-                        ws.push(bfetch_stats::weighted_speedup(&pairs));
-                    }
-                    let base = ws[0];
-                    ws[1..].iter().map(|w| w / base).collect::<Vec<f64>>()
-                });
-                (name, h)
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(name, h)| (name, h.join().expect("mix thread panicked")))
-            .collect()
-    })
+    }
+    for k in &solo_members {
+        spec.push(GridPoint::single(
+            format!("solo/{}", k.name),
+            k,
+            opts.config(PrefetcherKind::None),
+            opts.instructions,
+            opts.scale,
+        ));
+    }
+    for m in &mixes {
+        for (i, &kind) in all_kinds.iter().enumerate() {
+            spec.push(GridPoint::mix(
+                format!("mix/{}/{}", m.name, i),
+                m.members.to_vec(),
+                opts.config(kind),
+                opts.instructions,
+                opts.scale,
+            ));
+        }
+    }
+    let out = harness.run(&spec);
+
+    mixes
+        .iter()
+        .map(|m| {
+            let ws: Vec<f64> = (0..all_kinds.len())
+                .map(|i| {
+                    let results = out.results(&format!("mix/{}/{}", m.name, i));
+                    let pairs: Vec<(f64, f64)> = results
+                        .iter()
+                        .zip(m.members.iter())
+                        .map(|(r, k)| (r.ipc(), out.result(&format!("solo/{}", k.name)).ipc()))
+                        .collect();
+                    bfetch_stats::weighted_speedup(&pairs)
+                })
+                .collect();
+            let base = ws[0];
+            (
+                m.name.clone(),
+                ws[1..].iter().map(|w| w / base).collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
 }
 
 /// Geomean summary row over mix results.
@@ -235,6 +208,35 @@ pub fn mix_summary(rows: &[(String, Vec<f64>)]) -> (String, Vec<f64>) {
         .map(|c| geomean(&rows.iter().map(|(_, r)| r[c]).collect::<Vec<_>>()))
         .collect();
     ("Geomean".to_string(), cols)
+}
+
+/// Renders figure rows as machine-readable JSON for `--json` mode:
+/// `{"headers": [...], "rows": [{"name": ..., "values": [...]}, ...]}`.
+pub fn rows_to_json<S: AsRef<str>>(headers: &[&str], rows: &[(S, Vec<f64>)]) -> String {
+    use harness::jsonio::Json;
+    let doc = Json::Obj(vec![
+        (
+            "headers".into(),
+            Json::Arr(headers.iter().map(|h| Json::Str(h.to_string())).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|(name, vals)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(name.as_ref().to_string())),
+                            (
+                                "values".into(),
+                                Json::Arr(vals.iter().map(|&v| Json::f64_of(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    doc.to_string()
 }
 
 /// Formats a speedup table with the given column headers.
@@ -278,17 +280,6 @@ mod tests {
     }
 
     #[test]
-    fn config_carries_warmup_and_kind() {
-        let o = Opts {
-            warmup: 1234,
-            ..Opts::default()
-        };
-        let c = o.config(PrefetcherKind::Sms);
-        assert_eq!(c.warmup_insts, 1234);
-        assert_eq!(c.prefetcher.name(), "sms");
-    }
-
-    #[test]
     fn parallel_fanout_preserves_registry_order() {
         let rows = parallel_over_kernels(|k| vec![k.name.len() as f64]);
         let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
@@ -309,5 +300,21 @@ mod tests {
         assert_eq!(label, "Geomean");
         assert!((cols[0] - 4.0).abs() < 1e-12);
         assert!((cols[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_grid_runs_through_the_harness() {
+        let opts = Opts {
+            instructions: 2_000,
+            warmup: 500,
+            scale: bfetch_workloads::Scale::Small,
+            kernels: Some(vec!["libquantum".into()]),
+            ..Opts::default()
+        };
+        let h = Harness::new(2).without_cache().quiet();
+        let rows = speedups_vs_baseline(&h, &opts, &[PrefetcherKind::Perfect]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "libquantum");
+        assert!(rows[0].1[0] > 0.0);
     }
 }

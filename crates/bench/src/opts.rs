@@ -1,0 +1,289 @@
+//! Shared command-line options for every experiment binary.
+//!
+//! Parsing is fallible ([`Opts::parse`] returns `Result`) so binaries can
+//! print a usage message and exit nonzero instead of panicking; the
+//! convenience wrapper [`Opts::parse_or_exit`] does exactly that.
+
+use bfetch_sim::{PrefetcherKind, SimConfig};
+use bfetch_workloads::{kernel_by_name, kernels, Kernel, Scale};
+use std::path::PathBuf;
+
+/// Common command-line options for the figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opts {
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Worker threads for the experiment harness.
+    pub threads: usize,
+    /// Emit machine-readable JSON results on stdout instead of tables.
+    pub json: bool,
+    /// Bypass the on-disk result cache entirely.
+    pub no_cache: bool,
+    /// Result cache directory override (default `results/cache/`).
+    pub cache_dir: Option<PathBuf>,
+    /// Restrict kernel sweeps to this subset (`--kernels a,b,c`).
+    pub kernels: Option<Vec<String>>,
+}
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptsError {
+    /// A flag that no binary understands.
+    UnknownFlag(String),
+    /// A flag that requires a value was given none.
+    MissingValue(&'static str),
+    /// A flag value that did not parse.
+    BadValue(&'static str, String),
+    /// `--kernels` named a kernel that is not in the registry.
+    UnknownKernel(String),
+    /// `--help` was requested (not an error; callers print usage and exit 0).
+    HelpRequested,
+}
+
+impl std::fmt::Display for OptsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptsError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            OptsError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            OptsError::BadValue(flag, v) => write!(f, "invalid value {v:?} for {flag}"),
+            OptsError::UnknownKernel(name) => {
+                write!(f, "unknown kernel {name:?} (see --help for the registry)")
+            }
+            OptsError::HelpRequested => write!(f, "help requested"),
+        }
+    }
+}
+
+impl std::error::Error for OptsError {}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            instructions: 300_000,
+            warmup: 150_000,
+            scale: Scale::Full,
+            threads: default_threads(),
+            json: false,
+            no_cache: false,
+            cache_dir: None,
+            kernels: None,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The flag reference shared by all binaries.
+pub fn usage() -> String {
+    let names: Vec<&str> = kernels().iter().map(|k| k.name).collect();
+    format!(
+        "common flags:\n\
+         \x20 --instructions N, -n N   measured instructions per core (default 300000)\n\
+         \x20 --warmup N               warmup instructions per core (default 150000)\n\
+         \x20 --small                  reduced workload footprints\n\
+         \x20 --threads N, -j N        harness worker threads (default: all cores)\n\
+         \x20 --kernels a,b,c          restrict kernel sweeps to a subset\n\
+         \x20 --json                   machine-readable JSON results on stdout\n\
+         \x20 --no-cache               bypass the on-disk result cache\n\
+         \x20 --cache-dir PATH         result cache location (default results/cache)\n\
+         \x20 --help, -h               this message\n\
+         kernels: {}",
+        names.join(", ")
+    )
+}
+
+impl Opts {
+    /// Parses the standard flags from an argument list (without the
+    /// program name).
+    pub fn parse<I>(args: I) -> Result<Self, OptsError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut o = Self::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            let mut value = |flag: &'static str| -> Result<String, OptsError> {
+                args.next().ok_or(OptsError::MissingValue(flag))
+            };
+            match a.as_str() {
+                "--instructions" | "-n" => {
+                    let v = value("--instructions")?;
+                    o.instructions = v
+                        .parse()
+                        .map_err(|_| OptsError::BadValue("--instructions", v))?;
+                }
+                "--warmup" => {
+                    let v = value("--warmup")?;
+                    o.warmup = v.parse().map_err(|_| OptsError::BadValue("--warmup", v))?;
+                }
+                "--small" => o.scale = Scale::Small,
+                "--threads" | "-j" => {
+                    let v = value("--threads")?;
+                    o.threads = v
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or(OptsError::BadValue("--threads", v))?;
+                }
+                "--kernels" => {
+                    let v = value("--kernels")?;
+                    let names: Vec<String> = v.split(',').map(str::to_string).collect();
+                    for n in &names {
+                        if kernel_by_name(n).is_none() {
+                            return Err(OptsError::UnknownKernel(n.clone()));
+                        }
+                    }
+                    o.kernels = Some(names);
+                }
+                "--json" => o.json = true,
+                "--no-cache" => o.no_cache = true,
+                "--cache-dir" => o.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--help" | "-h" => return Err(OptsError::HelpRequested),
+                other => return Err(OptsError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(o)
+    }
+
+    /// Parses `std::env::args`; on error prints the message plus usage to
+    /// stderr and exits nonzero (`--help` prints usage and exits 0).
+    pub fn parse_or_exit() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(OptsError::HelpRequested) => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// A [`SimConfig`] carrying this run's warmup and the given prefetcher.
+    pub fn config(&self, kind: PrefetcherKind) -> SimConfig {
+        SimConfig::baseline()
+            .with_prefetcher(kind)
+            .with_warmup(self.warmup)
+    }
+
+    /// The kernels this run sweeps: the `--kernels` subset if given
+    /// (registry order), otherwise the full registry.
+    pub fn selected_kernels(&self) -> Vec<&'static Kernel> {
+        match &self.kernels {
+            // parse() validated the names, so filter the registry to keep
+            // registry order regardless of the flag's order
+            Some(names) => kernels()
+                .iter()
+                .filter(|k| names.iter().any(|n| n == k.name))
+                .collect(),
+            None => kernels().iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, OptsError> {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.instructions, 300_000);
+        assert_eq!(o.warmup, 150_000);
+        assert_eq!(o.scale, Scale::Full);
+        assert!(o.threads >= 1);
+        assert!(!o.json && !o.no_cache);
+        assert!(o.kernels.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--instructions",
+            "5000",
+            "--warmup",
+            "100",
+            "--small",
+            "--threads",
+            "4",
+            "--kernels",
+            "mcf,astar",
+            "--json",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/c",
+        ])
+        .unwrap();
+        assert_eq!(o.instructions, 5000);
+        assert_eq!(o.warmup, 100);
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.kernels.as_deref(), Some(&["mcf".to_string(), "astar".to_string()][..]));
+        assert!(o.json && o.no_cache);
+        assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+    }
+
+    #[test]
+    fn errors_are_values_not_panics() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(OptsError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            parse(&["--instructions"]),
+            Err(OptsError::MissingValue("--instructions"))
+        );
+        assert!(matches!(
+            parse(&["--threads", "zero"]),
+            Err(OptsError::BadValue("--threads", _))
+        ));
+        assert!(matches!(
+            parse(&["--threads", "0"]),
+            Err(OptsError::BadValue("--threads", _))
+        ));
+        assert_eq!(
+            parse(&["--kernels", "mcf,nonesuch"]),
+            Err(OptsError::UnknownKernel("nonesuch".into()))
+        );
+        assert_eq!(parse(&["--help"]), Err(OptsError::HelpRequested));
+    }
+
+    #[test]
+    fn selected_kernels_keeps_registry_order() {
+        let o = parse(&["--kernels", "sjeng,mcf"]).unwrap();
+        let sel = o.selected_kernels();
+        let names: Vec<&str> = sel.iter().map(|k| k.name).collect();
+        // mcf precedes sjeng in the registry regardless of flag order
+        assert_eq!(names, ["mcf", "sjeng"]);
+        assert_eq!(parse(&[]).unwrap().selected_kernels().len(), 18);
+    }
+
+    #[test]
+    fn config_carries_warmup_and_kind() {
+        let o = parse(&["--warmup", "1234"]).unwrap();
+        let c = o.config(PrefetcherKind::Sms);
+        assert_eq!(c.warmup_insts, 1234);
+        assert_eq!(c.prefetcher.name(), "sms");
+    }
+
+    #[test]
+    fn error_messages_name_the_flag() {
+        let msg = OptsError::BadValue("--threads", "x".into()).to_string();
+        assert!(msg.contains("--threads"));
+        let msg = OptsError::UnknownKernel("zzz".into()).to_string();
+        assert!(msg.contains("zzz"));
+    }
+}

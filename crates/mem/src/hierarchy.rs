@@ -73,7 +73,7 @@ pub struct PrefetchFeedback {
 }
 
 /// Per-core memory statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand loads observed at L1D.
     pub loads: u64,

@@ -107,7 +107,14 @@ impl MshrFile {
     /// completes earliest (it is guaranteed to have drained by `start_at`).
     pub fn fill_scheduled(&mut self, line: u64, complete_at: u64, is_prefetch: bool, pc_hash: u16) {
         if self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.complete_at) {
+            // tie-break on the line address: HashMap iteration order is
+            // seeded per process, and a seed-dependent victim makes whole
+            // simulations irreproducible run to run
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(&line, e)| (e.complete_at, line))
+            {
                 self.entries.remove(&victim);
             }
         }

@@ -1,80 +1,118 @@
-//! Property-based tests for the memory substrate.
+//! Randomized property tests for the memory substrate, driven by the
+//! in-tree deterministic PRNG (`bfetch-prng`). Build with
+//! `--features proptests` (or set `BFETCH_PROP_CASES`) for more cases.
 
 use bfetch_mem::{AccessKind, CacheConfig, HierarchyConfig, LineMeta, MemorySystem, SetAssocCache};
-use proptest::prelude::*;
+use bfetch_prng::Pcg32;
 
-proptest! {
-    /// An inserted line is resident until at least `ways` other lines of
-    /// the same set displace it (LRU guarantee).
-    #[test]
-    fn recently_inserted_line_is_resident(addr in 0u64..0x100_0000) {
+fn cases(default: usize) -> usize {
+    bfetch_prng::cases(if cfg!(feature = "proptests") {
+        default * 8
+    } else {
+        default
+    })
+}
+
+/// An inserted line is resident until at least `ways` other lines of
+/// the same set displace it (LRU guarantee).
+#[test]
+fn recently_inserted_line_is_resident() {
+    for case in 0..cases(128) as u64 {
+        let mut r = Pcg32::new(0x3e3_0001 ^ case);
+        let addr = r.gen_range(0x100_0000);
         let mut c = SetAssocCache::new(CacheConfig::new(8 * 1024, 4, 1));
         c.insert(addr, LineMeta::default());
-        prop_assert!(c.probe(addr));
+        assert!(c.probe(addr));
     }
+}
 
-    /// Whatever sequence of inserts happens, occupancy never exceeds the
-    /// cache's line capacity.
-    #[test]
-    fn occupancy_bounded(addrs in prop::collection::vec(0u64..0x40_0000, 1..300)) {
+/// Whatever sequence of inserts happens, occupancy never exceeds the
+/// cache's line capacity.
+#[test]
+fn occupancy_bounded() {
+    for case in 0..cases(48) as u64 {
+        let mut r = Pcg32::new(0x3e3_0002 ^ case);
+        let n = r.range(1, 300) as usize;
         let cfg = CacheConfig::new(4 * 1024, 2, 1); // 64 lines
         let mut c = SetAssocCache::new(cfg);
-        for a in addrs {
-            c.insert(a, LineMeta::default());
+        for _ in 0..n {
+            c.insert(r.gen_range(0x40_0000), LineMeta::default());
         }
-        prop_assert!(c.valid_lines() <= 64);
+        assert!(c.valid_lines() <= 64);
     }
+}
 
-    /// A hit follows every insert; a second access to the same line is
-    /// always a hit until that set overflows.
-    #[test]
-    fn insert_then_access_hits(addr in 0u64..0x100_0000) {
+/// A hit follows every insert; a second access to the same line is
+/// always a hit until that set overflows.
+#[test]
+fn insert_then_access_hits() {
+    for case in 0..cases(128) as u64 {
+        let mut r = Pcg32::new(0x3e3_0003 ^ case);
+        let addr = r.gen_range(0x100_0000);
         let mut c = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
-        prop_assert!(c.access(addr).is_none());
+        assert!(c.access(addr).is_none());
         c.insert(addr, LineMeta::default());
-        prop_assert!(c.access(addr).is_some());
+        assert!(c.access(addr).is_some());
     }
+}
 
-    /// Hierarchy access times are causal: completion is strictly after the
-    /// request, and a repeat access completes no later than a cold one.
-    #[test]
-    fn hierarchy_latency_causal(addr in 0u64..0x1000_0000, gap in 1u64..1000) {
+/// Hierarchy access times are causal: completion is strictly after the
+/// request, and a repeat access completes no later than a cold one.
+#[test]
+fn hierarchy_latency_causal() {
+    for case in 0..cases(64) as u64 {
+        let mut r = Pcg32::new(0x3e3_0004 ^ case);
+        let addr = r.gen_range(0x1000_0000);
+        let gap = r.range(1, 1000);
         let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
         let first = m.access(0, AccessKind::Load, addr, 0);
-        prop_assert!(first.complete_at > 0);
+        assert!(first.complete_at > 0);
         let t2 = first.complete_at + gap;
         let second = m.access(0, AccessKind::Load, addr, t2);
-        prop_assert!(second.complete_at >= t2);
-        prop_assert!(second.complete_at - t2 <= first.complete_at, "repeat access not slower than cold");
+        assert!(second.complete_at >= t2);
+        assert!(
+            second.complete_at - t2 <= first.complete_at,
+            "repeat access not slower than cold"
+        );
     }
+}
 
-    /// Demand accesses never lose data availability ordering: completion
-    /// times of a sequence of accesses at increasing timestamps are each
-    /// >= their own request time.
-    #[test]
-    fn monotone_request_stream(addrs in prop::collection::vec(0u64..0x100_0000, 1..60)) {
+/// Demand accesses never lose data availability ordering: completion
+/// times of a sequence of accesses at increasing timestamps are each
+/// >= their own request time.
+#[test]
+fn monotone_request_stream() {
+    for case in 0..cases(48) as u64 {
+        let mut r = Pcg32::new(0x3e3_0005 ^ case);
+        let n = r.range(1, 60) as usize;
         let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
         let mut now = 0;
-        for a in addrs {
+        for _ in 0..n {
+            let a = r.gen_range(0x100_0000);
             let out = m.access(0, AccessKind::Load, a, now);
-            prop_assert!(out.complete_at >= now);
+            assert!(out.complete_at >= now);
             now += 3;
         }
     }
+}
 
-    /// Prefetch then demand: the demand is never slower than a cold miss
-    /// would have been, and usefulness accounting stays consistent.
-    #[test]
-    fn prefetch_never_hurts_the_same_line(addr in 0u64..0x1000_0000, delay in 0u64..600) {
+/// Prefetch then demand: the demand is never slower than a cold miss
+/// would have been, and usefulness accounting stays consistent.
+#[test]
+fn prefetch_never_hurts_the_same_line() {
+    for case in 0..cases(64) as u64 {
+        let mut r = Pcg32::new(0x3e3_0006 ^ case);
+        let addr = r.gen_range(0x1000_0000);
+        let delay = r.gen_range(600);
         let mut cold = MemorySystem::new(HierarchyConfig::baseline(1));
         let cold_out = cold.access(0, AccessKind::Load, addr, delay);
 
         let mut m = MemorySystem::new(HierarchyConfig::baseline(1));
         m.prefetch(0, addr, 0x7f, 0);
         let out = m.access(0, AccessKind::Load, addr, delay);
-        prop_assert!(out.complete_at <= cold_out.complete_at);
+        assert!(out.complete_at <= cold_out.complete_at);
         let s = m.stats(0);
-        prop_assert!(s.prefetch_useful <= 1);
-        prop_assert_eq!(s.prefetch_useless, 0);
+        assert!(s.prefetch_useful <= 1);
+        assert_eq!(s.prefetch_useless, 0);
     }
 }

@@ -8,7 +8,7 @@ use bfetch_mem::{MemStats, MemorySystem};
 
 /// Measured results for one core over its measurement window (after
 /// warmup).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,

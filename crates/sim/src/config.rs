@@ -166,6 +166,49 @@ impl SimConfig {
         self
     }
 
+    /// Baseline with a different direction-predictor family.
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = kind;
+        self
+    }
+
+    /// Baseline with a different per-core warmup budget.
+    pub fn with_warmup(mut self, insts: u64) -> Self {
+        self.warmup_insts = insts;
+        self
+    }
+
+    /// Baseline with a scaled branch predictor (Figure 13: 0.5/1/2/4×).
+    pub fn with_bpred_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.bpred_scale = scale;
+        self
+    }
+
+    /// Baseline with different B-Fetch engine geometry/thresholds.
+    pub fn with_bfetch(mut self, bfetch: BFetchConfig) -> Self {
+        self.bfetch = bfetch;
+        self
+    }
+
+    /// Baseline with different DRAM parameters (the ext_dram sweep).
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Baseline with dirty-line writeback modelling toggled.
+    pub fn with_writebacks(mut self, on: bool) -> Self {
+        self.model_writebacks = on;
+        self
+    }
+
+    /// Baseline with store-to-load forwarding toggled.
+    pub fn with_store_forwarding(mut self, on: bool) -> Self {
+        self.store_forwarding = on;
+        self
+    }
+
     /// The memory hierarchy configuration for `cores` cores.
     pub fn hierarchy(&self, cores: usize) -> HierarchyConfig {
         HierarchyConfig {
@@ -227,6 +270,25 @@ mod tests {
         let c = SimConfig::baseline();
         assert_eq!(c.hierarchy(1).l3.size_bytes, 2 * 1024 * 1024);
         assert_eq!(c.hierarchy(4).l3.size_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::baseline()
+            .with_prefetcher(PrefetcherKind::BFetch)
+            .with_predictor(PredictorKind::Perceptron)
+            .with_warmup(1_234)
+            .with_bpred_scale(2.0)
+            .with_writebacks(true)
+            .with_store_forwarding(true);
+        assert_eq!(c.prefetcher, PrefetcherKind::BFetch);
+        assert_eq!(c.predictor, PredictorKind::Perceptron);
+        assert_eq!(c.warmup_insts, 1_234);
+        assert_eq!(c.bpred_scale, 2.0);
+        assert!(c.model_writebacks);
+        assert!(c.store_forwarding);
+        // untouched fields keep baseline values
+        assert_eq!(c.rob_entries, 192);
     }
 
     #[test]

@@ -1,103 +1,138 @@
 //! Random-program stress tests: arbitrary (valid) instruction sequences
 //! must run through the full timing pipeline without panics, deadlocks or
-//! IPC anomalies, under every prefetcher.
+//! IPC anomalies, under every prefetcher. Driven by the in-tree
+//! deterministic PRNG (`bfetch-prng`); build with `--features proptests`
+//! (or set `BFETCH_PROP_CASES`) for more cases.
 
 use bfetch_isa::{Inst, Program, Reg};
+use bfetch_prng::Pcg32;
 use bfetch_sim::{run_single, PredictorKind, PrefetcherKind, SimConfig};
-use proptest::prelude::*;
 
-/// Strategy: a random but structurally valid instruction.
-fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
-    let reg = (0usize..32).prop_map(|i| Reg::from_index(i).expect("valid"));
-    let target = 0usize..len;
-    prop_oneof![
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| Inst::Mul { rd, ra, rb }),
-        (reg.clone(), reg.clone(), -256i64..256).prop_map(|(rd, rs, imm)| Inst::AddI {
-            rd,
-            rs,
-            imm
-        }),
-        (reg.clone(), 0i64..0x10_0000).prop_map(|(rd, imm)| Inst::LoadImm { rd, imm }),
-        (reg.clone(), reg.clone(), 0i64..4096).prop_map(|(rd, base, offset)| Inst::Load {
-            rd,
-            base,
-            offset
-        }),
-        (reg.clone(), reg.clone(), 0i64..4096).prop_map(|(rs, base, offset)| Inst::Store {
-            rs,
-            base,
-            offset
-        }),
-        (reg.clone(), reg.clone(), target.clone()).prop_map(|(ra, rb, target)| Inst::Beq {
-            ra,
-            rb,
-            target
-        }),
-        (reg.clone(), reg.clone(), target.clone()).prop_map(|(ra, rb, target)| Inst::Bne {
-            ra,
-            rb,
-            target
-        }),
-        (reg, (0u8..64)).prop_map(|(rd, sh)| Inst::SllI { rd, rs: rd, sh }),
-        Just(Inst::Nop),
-    ]
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (8usize..64).prop_flat_map(|len| {
-        prop::collection::vec(arb_inst(len), len)
-            .prop_map(|insts| Program::new("fuzz", insts, vec![]))
+fn cases(default: usize) -> usize {
+    bfetch_prng::cases(if cfg!(feature = "proptests") {
+        default * 8
+    } else {
+        default
     })
 }
 
-fn quick(kind: PrefetcherKind) -> SimConfig {
-    let mut c = SimConfig::baseline().with_prefetcher(kind);
-    c.warmup_insts = 500;
-    c
+/// A random but structurally valid instruction.
+fn arb_inst(r: &mut Pcg32, len: usize) -> Inst {
+    let reg = |r: &mut Pcg32| Reg::from_index(r.gen_range(32) as usize).expect("valid");
+    match r.gen_range(10) {
+        0 => Inst::Add {
+            rd: reg(r),
+            ra: reg(r),
+            rb: reg(r),
+        },
+        1 => Inst::Mul {
+            rd: reg(r),
+            ra: reg(r),
+            rb: reg(r),
+        },
+        2 => Inst::AddI {
+            rd: reg(r),
+            rs: reg(r),
+            imm: r.range_i64(-256, 256),
+        },
+        3 => Inst::LoadImm {
+            rd: reg(r),
+            imm: r.range_i64(0, 0x10_0000),
+        },
+        4 => Inst::Load {
+            rd: reg(r),
+            base: reg(r),
+            offset: r.range_i64(0, 4096),
+        },
+        5 => Inst::Store {
+            rs: reg(r),
+            base: reg(r),
+            offset: r.range_i64(0, 4096),
+        },
+        6 => Inst::Beq {
+            ra: reg(r),
+            rb: reg(r),
+            target: r.gen_range(len as u64) as usize,
+        },
+        7 => Inst::Bne {
+            ra: reg(r),
+            rb: reg(r),
+            target: r.gen_range(len as u64) as usize,
+        },
+        8 => {
+            let rd = reg(r);
+            Inst::SllI {
+                rd,
+                rs: rd,
+                sh: r.gen_range(64) as u8,
+            }
+        }
+        _ => Inst::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_program(r: &mut Pcg32) -> Program {
+    let len = r.range(8, 64) as usize;
+    let insts = (0..len).map(|_| arb_inst(r, len)).collect();
+    Program::new("fuzz", insts, vec![])
+}
 
-    /// Any random program completes its instruction quota with a plausible
-    /// IPC under the baseline configuration.
-    #[test]
-    fn random_programs_complete(p in arb_program()) {
+fn quick(kind: PrefetcherKind) -> SimConfig {
+    SimConfig::baseline().with_prefetcher(kind).with_warmup(500)
+}
+
+/// Any random program completes its instruction quota with a plausible
+/// IPC under the baseline configuration.
+#[test]
+fn random_programs_complete() {
+    for case in 0..cases(48) as u64 {
+        let mut rng = Pcg32::new(0x5_1e55_0001 ^ case);
+        let p = arb_program(&mut rng);
         let r = run_single(&p, &quick(PrefetcherKind::None), 3_000);
-        prop_assert!(r.instructions >= 3_000);
-        prop_assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        assert!(r.instructions >= 3_000);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
     }
+}
 
-    /// The B-Fetch engine never corrupts execution: committed instruction
-    /// streams and cycle counts are deterministic, and IPC is not absurd.
-    #[test]
-    fn random_programs_with_bfetch(p in arb_program()) {
+/// The B-Fetch engine never corrupts execution: committed instruction
+/// streams and cycle counts are deterministic, and IPC is not absurd.
+#[test]
+fn random_programs_with_bfetch() {
+    for case in 0..cases(48) as u64 {
+        let mut rng = Pcg32::new(0x5_1e55_0002 ^ case);
+        let p = arb_program(&mut rng);
         let a = run_single(&p, &quick(PrefetcherKind::BFetch), 2_000);
         let b = run_single(&p, &quick(PrefetcherKind::BFetch), 2_000);
-        prop_assert_eq!(a.cycles, b.cycles, "nondeterminism detected");
-        prop_assert!(a.ipc() > 0.0 && a.ipc() <= 4.0);
+        assert_eq!(a.cycles, b.cycles, "nondeterminism detected");
+        assert!(a.ipc() > 0.0 && a.ipc() <= 4.0);
     }
+}
 
-    /// Every prefetcher survives arbitrary access patterns.
-    #[test]
-    fn random_programs_all_prefetchers(p in arb_program(), which in 0usize..4) {
+/// Every prefetcher survives arbitrary access patterns.
+#[test]
+fn random_programs_all_prefetchers() {
+    for case in 0..cases(48) as u64 {
+        let mut rng = Pcg32::new(0x5_1e55_0003 ^ case);
+        let p = arb_program(&mut rng);
         let kind = [
             PrefetcherKind::Stride,
             PrefetcherKind::Sms,
             PrefetcherKind::Isb,
             PrefetcherKind::NextN(2),
-        ][which];
+        ][rng.gen_range(4) as usize];
         let r = run_single(&p, &quick(kind), 2_000);
-        prop_assert!(r.instructions >= 2_000);
+        assert!(r.instructions >= 2_000);
     }
+}
 
-    /// The perceptron predictor path is as robust as the tournament path.
-    #[test]
-    fn random_programs_perceptron(p in arb_program()) {
-        let mut cfg = quick(PrefetcherKind::BFetch);
-        cfg.predictor = PredictorKind::Perceptron;
+/// The perceptron predictor path is as robust as the tournament path.
+#[test]
+fn random_programs_perceptron() {
+    for case in 0..cases(48) as u64 {
+        let mut rng = Pcg32::new(0x5_1e55_0004 ^ case);
+        let p = arb_program(&mut rng);
+        let cfg = quick(PrefetcherKind::BFetch).with_predictor(PredictorKind::Perceptron);
         let r = run_single(&p, &cfg, 2_000);
-        prop_assert!(r.instructions >= 2_000);
+        assert!(r.instructions >= 2_000);
     }
 }

@@ -7,8 +7,7 @@
 //! the compute kernels stay cache-resident.
 
 use bfetch_isa::{Program, ProgramBuilder, Reg};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use bfetch_prng::Pcg32;
 
 /// Workload footprint scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +57,8 @@ fn sz(scale: Scale, full_bytes: u64) -> u64 {
     }
 }
 
-fn rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
+fn rng(seed: u64) -> Pcg32 {
+    Pcg32::new(seed)
 }
 
 /// Emits a dependent ALU chain of `n` operations on (r28, r29) seeded from

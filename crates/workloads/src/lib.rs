@@ -16,8 +16,8 @@
 //! relative to the cache hierarchy, and branch predictability — these
 //! drive every figure in the paper's evaluation.
 //!
-//! All data initialization is deterministic (seeded ChaCha), so runs are
-//! bit-reproducible.
+//! All data initialization is deterministic (seeded in-tree PCG32, see
+//! `bfetch-prng`), so runs are bit-reproducible.
 //!
 //! # Example
 //!

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline: build, test, lint.
+#
+#   sh scripts/verify.sh          # what CI runs
+#   BFETCH_PROP_CASES=200 sh scripts/verify.sh   # heavier property sweeps
+#
+# The workspace has no external dependencies, so this needs no network
+# and no pre-populated cargo registry.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: root package tests"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> timing benches compile (criterion-benches feature)"
+cargo check -p bfetch-bench --benches --features criterion-benches -q
+
+echo "==> harness determinism: serial vs parallel vs cached stdout"
+BIN=target/release/fig08_single
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
+ARGS="--small --instructions 20000 --warmup 5000 --cache-dir $CACHE"
+$BIN $ARGS --threads 1 >"$CACHE/serial.txt" 2>/dev/null
+$BIN $ARGS --threads 4 >"$CACHE/parallel.txt" 2>/dev/null
+$BIN $ARGS --threads 4 >"$CACHE/cached.txt" 2>"$CACHE/cached.err"
+cmp "$CACHE/serial.txt" "$CACHE/parallel.txt"
+cmp "$CACHE/serial.txt" "$CACHE/cached.txt"
+grep -q " 0 simulated" "$CACHE/cached.err"
+
+echo "verify: OK"
