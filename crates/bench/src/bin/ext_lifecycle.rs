@@ -1,0 +1,118 @@
+//! Extension: prefetch-lifecycle quality metrics for B-Fetch — per-kernel
+//! accuracy / coverage / timeliness / pollution / mean lead time derived
+//! from the traced event stream rather than aggregate counters (DESIGN.md
+//! "Observability" documents the event schema and metric definitions).
+//!
+//! With `--trace PATH` the raw event stream is also exported as JSONL: one
+//! `run_begin` delimiter object per kernel followed by that kernel's
+//! retained events.
+
+use bfetch_bench::harness::executor::run_indexed;
+use bfetch_bench::{rows_to_json, Opts};
+use bfetch_sim::{run_single_traced, PrefetcherKind, TracedRun};
+use bfetch_stats::trace::LifecycleCounts;
+use bfetch_stats::Table;
+use std::io::Write;
+
+fn main() {
+    let opts = Opts::parse_or_exit();
+    let kernels = opts.selected_kernels();
+    let cfg = opts.config(PrefetcherKind::BFetch);
+
+    // Traced runs are never served from the result cache (the cache stores
+    // RunResults, not event streams); the work-stealing executor keeps the
+    // sweep parallel while the output stays in kernel-registry order.
+    let runs: Vec<TracedRun> = run_indexed(&kernels, opts.threads, |_, k| {
+        let program = k.build(opts.scale);
+        run_single_traced(&program, &cfg, opts.instructions)
+    });
+
+    if let Some(path) = &opts.trace {
+        if let Err(e) = export_jsonl(path, &kernels, &runs) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    let headers = [
+        "issued", "filled", "useful", "late", "unused", "accuracy", "coverage",
+        "timeliness", "pollution", "lead",
+    ];
+    let mut total = LifecycleCounts::default();
+    let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (k, run) in kernels.iter().zip(&runs) {
+        let lc = run.lifecycle[0];
+        total = total.combined(&lc);
+        rows.push((k.name, row_of(&lc)));
+    }
+    rows.push(("TOTAL", row_of(&total)));
+
+    if opts.json {
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+    let mut t = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(headers.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (name, vals) in &rows {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(vals.iter().enumerate().map(|(i, v)| match i {
+                    0..=4 => format!("{v:.0}"),
+                    9 => format!("{v:.1}"),
+                    _ => format!("{v:.3}"),
+                }))
+                .collect(),
+        );
+    }
+    println!("== Extension: B-Fetch prefetch lifecycle (traced) ==");
+    print!("{t}");
+    println!();
+    println!("accuracy   = useful / (useful + unused)      [Section V \"accuracy\"]");
+    println!("coverage   = useful / (useful + demand miss) [Section V \"coverage\"]");
+    println!("timeliness = timely first uses / useful; lead = mean fill-to-use cycles");
+    if opts.trace.is_none() {
+        println!("(re-run with --trace PATH to export the raw event stream as JSONL)");
+    }
+}
+
+fn row_of(lc: &LifecycleCounts) -> Vec<f64> {
+    let m = lc.metrics();
+    vec![
+        lc.issued as f64,
+        lc.filled as f64,
+        lc.useful() as f64,
+        lc.merged_late as f64,
+        lc.evicted_unused as f64,
+        m.accuracy,
+        m.coverage,
+        m.timeliness,
+        m.pollution,
+        m.mean_lead_cycles,
+    ]
+}
+
+/// Writes one `run_begin` delimiter object per kernel followed by that
+/// kernel's retained events, one JSON object per line.
+fn export_jsonl(
+    path: &std::path::Path,
+    kernels: &[&'static bfetch_workloads::Kernel],
+    runs: &[TracedRun],
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for (k, run) in kernels.iter().zip(runs) {
+        writeln!(
+            out,
+            "{{\"event\":\"run_begin\",\"kernel\":\"{}\",\"prefetcher\":\"bfetch\",\"events\":{}}}",
+            k.name,
+            run.events.len()
+        )?;
+        for e in &run.events {
+            writeln!(out, "{}", e.to_json_line())?;
+        }
+    }
+    out.flush()
+}

@@ -11,7 +11,8 @@
 //! content-addressed cache under `results/cache/` (see the [`harness`]
 //! module). Common flags ([`Opts`]): `--instructions N`, `--warmup N`,
 //! `--small`, `--threads N`, `--kernels a,b,c`, `--json`, `--no-cache`,
-//! `--cache-dir PATH`.
+//! `--cache-dir PATH`, `--trace PATH` (JSONL lifecycle export on the
+//! binaries that trace, e.g. `ext_lifecycle`).
 
 pub mod harness;
 pub mod opts;

@@ -27,6 +27,9 @@ pub struct Opts {
     pub cache_dir: Option<PathBuf>,
     /// Restrict kernel sweeps to this subset (`--kernels a,b,c`).
     pub kernels: Option<Vec<String>>,
+    /// Write a JSONL lifecycle trace here (binaries that support tracing;
+    /// see DESIGN.md's Observability chapter for the schema).
+    pub trace: Option<PathBuf>,
 }
 
 /// A malformed command line.
@@ -71,6 +74,7 @@ impl Default for Opts {
             no_cache: false,
             cache_dir: None,
             kernels: None,
+            trace: None,
         }
     }
 }
@@ -92,6 +96,7 @@ pub fn usage() -> String {
          \x20 --json                   machine-readable JSON results on stdout\n\
          \x20 --no-cache               bypass the on-disk result cache\n\
          \x20 --cache-dir PATH         result cache location (default results/cache)\n\
+         \x20 --trace PATH             write a JSONL lifecycle trace (tracing binaries)\n\
          \x20 --help, -h               this message\n\
          kernels: {}",
         names.join(", ")
@@ -144,6 +149,7 @@ impl Opts {
                 "--json" => o.json = true,
                 "--no-cache" => o.no_cache = true,
                 "--cache-dir" => o.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
                 "--help" | "-h" => return Err(OptsError::HelpRequested),
                 other => return Err(OptsError::UnknownFlag(other.to_string())),
             }
@@ -207,6 +213,7 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(!o.json && !o.no_cache);
         assert!(o.kernels.is_none());
+        assert!(o.trace.is_none());
     }
 
     #[test]
@@ -225,6 +232,8 @@ mod tests {
             "--no-cache",
             "--cache-dir",
             "/tmp/c",
+            "--trace",
+            "/tmp/t.jsonl",
         ])
         .unwrap();
         assert_eq!(o.instructions, 5000);
@@ -234,6 +243,7 @@ mod tests {
         assert_eq!(o.kernels.as_deref(), Some(&["mcf".to_string(), "astar".to_string()][..]));
         assert!(o.json && o.no_cache);
         assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("/tmp/t.jsonl")));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::filter::PerLoadFilter;
 use crate::mht::MemoryHistoryTable;
 use bfetch_bpred::{CompositeConfidence, DirectionPredictor, PathConfidence, SpeculativeCursor};
 use bfetch_mem::{line_of, LINE_BYTES};
+use bfetch_stats::trace::{DropReason, TraceKind, Tracer};
 use std::collections::VecDeque;
 
 /// A branch handed from the main pipeline's decode stage to the Decoded
@@ -93,7 +94,8 @@ impl EngineStats {
 /// The complete B-Fetch engine for one core.
 ///
 /// See the [crate docs](crate) for the pipeline overview. The embedding
-/// simulator drives it with five hooks:
+/// simulator (constructed through `SimConfig::with_bfetch` in
+/// `bfetch-sim`) drives it with hooks grouped by pipeline stage:
 ///
 /// * [`BFetchEngine::on_branch_decoded`] — decode-side DBR fill;
 /// * [`BFetchEngine::post_regwrite`] / [`BFetchEngine::tick`] — execute-side
@@ -101,7 +103,13 @@ impl EngineStats {
 /// * [`BFetchEngine::on_commit_branch`] / [`BFetchEngine::on_commit_load`]
 ///   — commit-side learning;
 /// * [`BFetchEngine::on_feedback`] — L1D prefetch-usefulness feedback;
-/// * [`BFetchEngine::pop_prefetches`] — drains the bounded prefetch queue.
+/// * [`BFetchEngine::pop_prefetches`] / [`BFetchEngine::pop_inst_prefetches`]
+///   — drain the bounded prefetch queues.
+///
+/// With a live tracer installed ([`BFetchEngine::set_tracer`]) the engine
+/// reports candidates it discards — per-load-filter rejections and queue
+/// overflow — as `prefetch_dropped` trace events; benign de-duplication
+/// against already-queued lines is not an event.
 #[derive(Debug)]
 pub struct BFetchEngine {
     cfg: BFetchConfig,
@@ -121,6 +129,7 @@ pub struct BFetchEngine {
     recent_lines: [u64; 64],
     recent_pos: usize,
     stats: EngineStats,
+    tracer: Tracer,
 }
 
 impl BFetchEngine {
@@ -140,8 +149,14 @@ impl BFetchEngine {
             recent_lines: [u64::MAX; 64],
             recent_pos: 0,
             stats: EngineStats::default(),
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Installs the trace handle (pre-stamped with this engine's core).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration in use.
@@ -189,10 +204,10 @@ impl BFetchEngine {
         let Some(db) = self.dbr.pop_front() else {
             return;
         };
-        self.lookahead(db, bp, conf);
+        self.lookahead(db, bp, conf, now);
     }
 
-    fn push_candidate(&mut self, addr: u64, pc_hash: u16) {
+    fn push_candidate(&mut self, addr: u64, pc_hash: u16, now: u64) {
         let line = line_of(addr);
         if self.recent_lines.contains(&line) {
             return; // queued or issued moments ago
@@ -202,6 +217,14 @@ impl BFetchEngine {
         }
         if self.queue.len() >= self.cfg.queue_entries {
             self.stats.queue_overflow += 1;
+            self.tracer.emit(
+                now,
+                TraceKind::PrefetchDropped {
+                    line,
+                    pc_hash,
+                    reason: DropReason::QueueFull,
+                },
+            );
             return;
         }
         self.stats.candidates += 1;
@@ -210,7 +233,7 @@ impl BFetchEngine {
         self.queue.push_back(PrefetchCandidate { addr, pc_hash });
     }
 
-    fn emit_for_block(&mut self, key: u64, branch_pc: u64, loop_cnt: u32) {
+    fn emit_for_block(&mut self, key: u64, branch_pc: u64, loop_cnt: u32, now: u64) {
         let Some(slots) = self.mht.lookup(key, branch_pc) else {
             return;
         };
@@ -221,9 +244,17 @@ impl BFetchEngine {
             let base = s.prefetch_address(self.arf.read(s.reg_idx as usize), effective_loop_cnt);
             if self.cfg.enable_filter && !self.filter.allow(s.load_pc_hash) {
                 self.stats.filtered += 1;
+                self.tracer.emit(
+                    now,
+                    TraceKind::PrefetchDropped {
+                        line: line_of(base),
+                        pc_hash: s.load_pc_hash,
+                        reason: DropReason::Filter,
+                    },
+                );
                 continue;
             }
-            self.push_candidate(base, s.load_pc_hash);
+            self.push_candidate(base, s.load_pc_hash, now);
             if !self.cfg.enable_patt {
                 continue;
             }
@@ -232,12 +263,14 @@ impl BFetchEngine {
                     self.push_candidate(
                         base.wrapping_add((b as u64 + 1) * LINE_BYTES),
                         s.load_pc_hash,
+                        now,
                     );
                 }
                 if s.neg_patt & (1 << b) != 0 {
                     self.push_candidate(
                         base.wrapping_sub((b as u64 + 1) * LINE_BYTES),
                         s.load_pc_hash,
+                        now,
                     );
                 }
             }
@@ -249,6 +282,7 @@ impl BFetchEngine {
         db: DecodedBranch,
         bp: &dyn DirectionPredictor,
         conf: &CompositeConfidence,
+        now: u64,
     ) {
         self.stats.lookaheads += 1;
         let mut path = PathConfidence::new(self.cfg.confidence_threshold);
@@ -286,7 +320,7 @@ impl BFetchEngine {
                     0
                 }
             };
-            self.emit_for_block(key, cur_pc, loop_cnt);
+            self.emit_for_block(key, cur_pc, loop_cnt, now);
             self.stats.branches_walked += 1;
 
             let Some(BrTcEntry {
@@ -603,9 +637,9 @@ mod tests {
     #[test]
     fn queue_dedupes_same_line() {
         let mut e = BFetchEngine::new(BFetchConfig::baseline());
-        e.push_candidate(0x1000, 1);
-        e.push_candidate(0x1008, 2); // same line
-        e.push_candidate(0x1040, 3);
+        e.push_candidate(0x1000, 1, 0);
+        e.push_candidate(0x1008, 2, 0); // same line
+        e.push_candidate(0x1040, 3, 0);
         assert_eq!(e.queue_len(), 2);
     }
 
@@ -616,7 +650,7 @@ mod tests {
             ..BFetchConfig::baseline()
         });
         for i in 0..10u64 {
-            e.push_candidate(i * 64, 0);
+            e.push_candidate(i * 64, 0, 0);
         }
         assert_eq!(e.queue_len(), 4);
         assert_eq!(e.stats().queue_overflow, 6);

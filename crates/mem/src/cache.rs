@@ -31,7 +31,9 @@ impl CacheConfig {
 
 /// Per-line metadata carried for the per-load filter (Section IV-B3): a
 /// prefetched bit, a used bit, and a 10-bit hash of the load PC that
-/// triggered the prefetch — plus a dirty bit for writeback accounting.
+/// triggered the prefetch — plus a dirty bit for writeback accounting and
+/// the fill cycle, which lets the trace layer report how much lead time a
+/// prefetch bought at first use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LineMeta {
     /// The line was installed by a prefetch.
@@ -42,6 +44,8 @@ pub struct LineMeta {
     pub pc_hash: u16,
     /// The line holds store data not yet written back.
     pub dirty: bool,
+    /// Cycle the line was installed (fill provenance for tracing).
+    pub fill_at: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +65,7 @@ impl Line {
             used: false,
             pc_hash: 0,
             dirty: false,
+            fill_at: 0,
         },
         valid: false,
     };
@@ -311,6 +316,7 @@ mod tests {
                 used: false,
                 pc_hash: 0x2aa,
                 dirty: false,
+                fill_at: 0,
             },
         );
         let first = c.access(0x40).unwrap();
@@ -330,6 +336,7 @@ mod tests {
                 used: false,
                 pc_hash: 1,
                 dirty: false,
+                fill_at: 0,
             },
         );
         c.insert(0x100, LineMeta::default());
@@ -350,6 +357,7 @@ mod tests {
                 used: false,
                 pc_hash: 1,
                 dirty: false,
+                fill_at: 0,
             },
         );
         c.access(0x0); // use it

@@ -5,11 +5,23 @@
 //! they are requested, so prefetch timeliness is modelled: a late prefetch
 //! only shaves the remaining fill latency off the demand access that merges
 //! with it in the MSHRs.
+//!
+//! Standalone use constructs a [`MemorySystem`] from a [`HierarchyConfig`]
+//! (usually `HierarchyConfig::baseline(cores)`); simulations built through
+//! `bfetch-sim` get one from `SimConfig::hierarchy(cores)` so the figure
+//! binaries share a single source of geometry truth.
+//!
+//! When a `Tracer` is installed via [`MemorySystem::set_tracer`], the
+//! data-side prefetch lifecycle (issued, dropped, MSHR-merged, filled,
+//! first-use, evicted-unused) and uncovered demand misses are emitted as
+//! cycle-stamped trace events; with the default disabled tracer every
+//! emission is a no-op branch.
 
 use crate::cache::{CacheConfig, LineMeta, SetAssocCache};
 use crate::dram::{Dram, DramConfig};
 use crate::line_of;
 use crate::mshr::{MshrFile, MshrOutcome};
+use bfetch_stats::trace::{DropReason, ServiceLevel, TraceKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -228,6 +240,7 @@ pub struct MemorySystem {
     fill_data: Vec<Option<PendingFill>>,
     feedback: Vec<PrefetchFeedback>,
     stats: Vec<MemStats>,
+    tracer: Tracer,
 }
 
 impl MemorySystem {
@@ -258,8 +271,16 @@ impl MemorySystem {
             fill_data: Vec::new(),
             feedback: Vec::new(),
             stats: vec![MemStats::default(); cfg.cores],
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Installs the trace handle shared with the rest of the simulation.
+    /// The memory system is shared by all cores, so it stamps core indices
+    /// explicitly on each event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration in use.
@@ -319,11 +340,29 @@ impl MemorySystem {
             let evicted = if fill.is_inst {
                 self.l1i[core].insert(fill.phys, LineMeta::default())
             } else {
+                if fill.meta.prefetched {
+                    self.tracer.emit_for(
+                        core as u32,
+                        fill.complete_at,
+                        TraceKind::PrefetchFilled {
+                            line: line_of(fill.phys),
+                            pc_hash: fill.meta.pc_hash,
+                        },
+                    );
+                }
                 self.l1d[core].insert(fill.phys, fill.meta)
             };
             if let Some((vaddr, vmeta)) = evicted {
                 if vmeta.prefetched && !vmeta.used {
                     self.stats[core].prefetch_useless += 1;
+                    self.tracer.emit_for(
+                        core as u32,
+                        fill.complete_at,
+                        TraceKind::PrefetchEvictedUnused {
+                            line: vaddr,
+                            pc_hash: vmeta.pc_hash,
+                        },
+                    );
                     self.feedback.push(PrefetchFeedback {
                         core,
                         pc_hash: vmeta.pc_hash,
@@ -426,6 +465,15 @@ impl MemorySystem {
                 self.stats[core].l1d_hits += 1;
                 if before.prefetched && !before.used {
                     self.stats[core].prefetch_useful += 1;
+                    self.tracer.emit_for(
+                        core as u32,
+                        now,
+                        TraceKind::PrefetchFirstUse {
+                            line,
+                            pc_hash: before.pc_hash,
+                            lead_cycles: now.saturating_sub(before.fill_at),
+                        },
+                    );
                     self.feedback.push(PrefetchFeedback {
                         core,
                         pc_hash: before.pc_hash,
@@ -447,6 +495,16 @@ impl MemorySystem {
         // merge with an outstanding demand miss?
         if let Some((complete_at, _, _)) = self.mshr[core].lookup(line) {
             self.stats[core].mshr_merges += 1;
+            if !is_inst {
+                self.tracer.emit_for(
+                    core as u32,
+                    now,
+                    TraceKind::DemandMiss {
+                        line,
+                        level: ServiceLevel::InFlight,
+                    },
+                );
+            }
             return AccessOutcome {
                 complete_at: complete_at.max(now + l1_latency),
                 level: HitLevel::InFlight,
@@ -459,6 +517,15 @@ impl MemorySystem {
             if was_prefetch && !is_inst {
                 self.stats[core].prefetch_useful += 1;
                 self.stats[core].prefetch_late += 1;
+                self.tracer.emit_for(
+                    core as u32,
+                    now,
+                    TraceKind::PrefetchMshrMerged {
+                        line,
+                        pc_hash,
+                        remaining_cycles: complete_at.saturating_sub(now),
+                    },
+                );
                 self.feedback.push(PrefetchFeedback {
                     core,
                     pc_hash,
@@ -471,6 +538,16 @@ impl MemorySystem {
                         f.meta.used = true;
                     }
                 }
+            } else if !is_inst {
+                // promoted entry: plain in-flight demand merge
+                self.tracer.emit_for(
+                    core as u32,
+                    now,
+                    TraceKind::DemandMiss {
+                        line,
+                        level: ServiceLevel::InFlight,
+                    },
+                );
             }
             return AccessOutcome {
                 complete_at: complete_at.max(now + l1_latency),
@@ -482,6 +559,21 @@ impl MemorySystem {
             MshrOutcome::Allocated { start_at } => {
                 let (done, level, fill_l2, fill_l3) =
                     self.lower_levels(core, phys, start_at + l1_latency, true);
+                if !is_inst {
+                    let service = match level {
+                        HitLevel::L2 => ServiceLevel::L2,
+                        HitLevel::L3 => ServiceLevel::L3,
+                        _ => ServiceLevel::Dram,
+                    };
+                    self.tracer.emit_for(
+                        core as u32,
+                        now,
+                        TraceKind::DemandMiss {
+                            line,
+                            level: service,
+                        },
+                    );
+                }
                 self.mshr[core].fill_scheduled(line, done, false, 0);
                 self.schedule_fill(PendingFill {
                     complete_at: done,
@@ -492,6 +584,7 @@ impl MemorySystem {
                         used: true,
                         pc_hash: 0,
                         dirty: kind == AccessKind::Store,
+                        fill_at: done,
                     },
                     fill_l2,
                     fill_l3,
@@ -564,12 +657,30 @@ impl MemorySystem {
             || self.pf_mshr[core].contains(line)
         {
             self.stats[core].prefetch_redundant += 1;
+            self.tracer.emit_for(
+                core as u32,
+                now,
+                TraceKind::PrefetchDropped {
+                    line,
+                    pc_hash: pc_hash & 0x3ff,
+                    reason: DropReason::Redundant,
+                },
+            );
             return None;
         }
         // the prefetch buffer pool is bounded: drop rather than queue so
         // stale speculative requests never pile up
         if self.pf_mshr[core].free() == 0 {
             self.stats[core].prefetch_mshr_drops += 1;
+            self.tracer.emit_for(
+                core as u32,
+                now,
+                TraceKind::PrefetchDropped {
+                    line,
+                    pc_hash: pc_hash & 0x3ff,
+                    reason: DropReason::MshrFull,
+                },
+            );
             return None;
         }
         let start_at = match self.pf_mshr[core].request(line, now) {
@@ -579,6 +690,14 @@ impl MemorySystem {
         let (done, _level, fill_l2, fill_l3) =
             self.lower_levels(core, phys, start_at + self.cfg.l1d.latency, false);
         self.pf_mshr[core].fill_scheduled(line, done, true, pc_hash & 0x3ff);
+        self.tracer.emit_for(
+            core as u32,
+            now,
+            TraceKind::PrefetchIssued {
+                line,
+                pc_hash: pc_hash & 0x3ff,
+            },
+        );
         self.schedule_fill(PendingFill {
             complete_at: done,
             core,
@@ -588,6 +707,7 @@ impl MemorySystem {
                 used: false,
                 pc_hash: pc_hash & 0x3ff,
                 dirty: false,
+                fill_at: done,
             },
             fill_l2,
             fill_l3,
@@ -777,6 +897,123 @@ mod tests {
         assert_eq!(s.l1d_hits, 1);
         assert_eq!(s.l1d_misses, 1);
         assert_eq!(s.dram_reqs, 1);
+    }
+
+    fn traced_sys(cores: usize) -> (MemorySystem, Tracer) {
+        let tracer = Tracer::enabled(&bfetch_stats::TraceConfig::on());
+        let mut m = sys(cores);
+        m.set_tracer(tracer.clone());
+        (m, tracer)
+    }
+
+    #[test]
+    fn lifecycle_events_cover_issue_fill_first_use() {
+        let (mut m, t) = traced_sys(1);
+        let fill = m.prefetch(0, 0x20_0000, 0x155, 0).expect("accepted");
+        let used_at = fill + 5;
+        m.access(0, AccessKind::Load, 0x20_0000, used_at);
+        drop(m);
+        let sink = t.finish().unwrap();
+        let kinds: Vec<&'static str> = sink.events().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            ["prefetch_issued", "prefetch_filled", "prefetch_first_use"]
+        );
+        let first_use = sink
+            .events()
+            .find_map(|e| match e.kind {
+                TraceKind::PrefetchFirstUse { lead_cycles, .. } => Some((e.cycle, lead_cycles)),
+                _ => None,
+            })
+            .unwrap();
+        // lead time is exactly the gap between the fill and the demand
+        assert_eq!(first_use, (used_at, 5));
+        let c = sink.lifecycle(0);
+        assert_eq!((c.issued, c.filled, c.first_use), (1, 1, 1));
+        assert_eq!(c.demand_misses, 0, "covered miss is not a demand miss");
+    }
+
+    #[test]
+    fn late_prefetch_traces_merge_not_demand_miss() {
+        let (mut m, t) = traced_sys(1);
+        let fill = m.prefetch(0, 0x20_0000, 7, 0).expect("accepted");
+        m.access(0, AccessKind::Load, 0x20_0000, 50);
+        drop(m);
+        let sink = t.finish().unwrap();
+        let c = sink.lifecycle(0);
+        assert_eq!(c.merged_late, 1);
+        assert_eq!(c.demand_misses, 0);
+        let remaining = sink
+            .events()
+            .find_map(|e| match e.kind {
+                TraceKind::PrefetchMshrMerged {
+                    remaining_cycles, ..
+                } => Some(remaining_cycles),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(remaining, fill - 50);
+    }
+
+    #[test]
+    fn uncovered_misses_and_drops_are_traced_data_side_only() {
+        let (mut m, t) = traced_sys(1);
+        m.access(0, AccessKind::Load, 0x10_0000, 0); // DRAM miss
+        m.access(0, AccessKind::Load, 0x10_0000, 10); // merges in flight
+        m.access(0, AccessKind::InstFetch, 0x40_0000, 20); // inst side: no events
+        let fill = m.prefetch(0, 0x20_0000, 7, 30).unwrap();
+        m.prefetch(0, 0x20_0000, 7, 31); // redundant duplicate
+        drop(m);
+        let sink = t.finish().unwrap();
+        let c = sink.lifecycle(0);
+        assert_eq!(c.demand_misses, 2, "DRAM miss + in-flight merge");
+        assert_eq!(c.dropped, [0, 0, 0, 1], "one redundant drop");
+        assert!(fill > 30);
+        let levels: Vec<ServiceLevel> = sink
+            .events()
+            .filter_map(|e| match e.kind {
+                TraceKind::DemandMiss { level, .. } => Some(level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(levels, [ServiceLevel::Dram, ServiceLevel::InFlight]);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_traced() {
+        let (mut m, t) = traced_sys(1);
+        let fill = m.prefetch(0, 0x30_0000, 9, 0).unwrap();
+        let mut now = fill + 1;
+        for i in 1..=16u64 {
+            let out = m.access(0, AccessKind::Load, 0x30_0000 + i * 8 * 1024, now);
+            now = out.complete_at + 1;
+        }
+        m.drain(now + 1000);
+        drop(m);
+        let sink = t.finish().unwrap();
+        assert_eq!(sink.lifecycle(0).evicted_unused, 1);
+        assert_eq!(sink.lifecycle(0).first_use, 0);
+    }
+
+    #[test]
+    fn disabled_tracer_changes_no_stats() {
+        // identical access pattern with and without a live tracer must
+        // produce identical MemStats and outcomes
+        let drive = |m: &mut MemorySystem| {
+            let mut outs = Vec::new();
+            let fill = m.prefetch(0, 0x20_0000, 7, 0).unwrap();
+            outs.push(m.access(0, AccessKind::Load, 0x20_0000, fill + 2));
+            outs.push(m.access(0, AccessKind::Load, 0x99_0000, fill + 3));
+            (outs, *m.stats(0))
+        };
+        let mut plain = sys(1);
+        let (outs_a, stats_a) = drive(&mut plain);
+        let (mut traced, t) = traced_sys(1);
+        let (outs_b, stats_b) = drive(&mut traced);
+        assert_eq!(outs_a, outs_b);
+        assert_eq!(stats_a, stats_b);
+        drop(traced);
+        assert!(t.finish().unwrap().total_recorded() > 0);
     }
 
     #[test]

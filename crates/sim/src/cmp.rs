@@ -5,6 +5,8 @@ use crate::core::{Core, CoreCounters};
 use bfetch_core::EngineStats;
 use bfetch_isa::Program;
 use bfetch_mem::{MemStats, MemorySystem};
+use bfetch_stats::trace::{LifecycleCounts, TraceEvent, TraceSink, Tracer};
+use bfetch_stats::StatsRegistry;
 
 /// Measured results for one core over its measurement window (after
 /// warmup).
@@ -51,6 +53,64 @@ impl RunResult {
             self.mispredicts as f64 / self.cond_branches as f64
         }
     }
+
+    /// Flattens every counter of this result into a [`StatsRegistry`] with
+    /// hierarchical names (`core.*`, `l1d.*`, `prefetch.*`, `bfetch.*`), so
+    /// tooling can enumerate and diff runs without knowing the struct
+    /// layout.
+    pub fn registry(&self) -> StatsRegistry {
+        let mut r = StatsRegistry::new();
+        r.set("core.cycles", self.cycles);
+        r.set("core.instructions", self.instructions);
+        r.set("core.cond_branches", self.cond_branches);
+        r.set("core.mispredicts", self.mispredicts);
+        r.set_hist("core.branch_fetch_hist", &self.branch_fetch_hist);
+        let m = &self.mem;
+        r.set("mem.loads", m.loads);
+        r.set("mem.stores", m.stores);
+        r.set("mem.inst_fetches", m.inst_fetches);
+        r.set("mem.writebacks", m.writebacks);
+        r.set("l1i.misses", m.l1i_misses);
+        r.set("l1d.hits", m.l1d_hits);
+        r.set("l1d.misses", m.l1d_misses);
+        r.set("l2.hits", m.l2_hits);
+        r.set("l3.hits", m.l3_hits);
+        r.set("dram.reqs", m.dram_reqs);
+        r.set("mshr.merges", m.mshr_merges);
+        r.set("prefetch.issued", m.prefetch_issued);
+        r.set("prefetch.redundant", m.prefetch_redundant);
+        r.set("prefetch.useful", m.prefetch_useful);
+        r.set("prefetch.useless", m.prefetch_useless);
+        r.set("prefetch.late", m.prefetch_late);
+        r.set("prefetch.mshr_drops", m.prefetch_mshr_drops);
+        r.set("prefetch.metadata_bytes", self.pf_metadata_bytes);
+        if let Some(e) = &self.engine {
+            r.set("bfetch.lookaheads", e.lookaheads);
+            r.set("bfetch.branches_walked", e.branches_walked);
+            r.set("bfetch.stops.confidence", e.confidence_stops);
+            r.set("bfetch.stops.brtc", e.brtc_stops);
+            r.set("bfetch.stops.depth", e.depth_stops);
+            r.set("bfetch.candidates", e.candidates);
+            r.set("bfetch.filtered", e.filtered);
+            r.set("bfetch.queue_overflow", e.queue_overflow);
+            r.set("bfetch.dbr_dropped", e.dbr_dropped);
+        }
+        r
+    }
+}
+
+/// The output of a traced run: the usual per-core results plus the trace
+/// ring contents and exact per-core lifecycle tallies for the measurement
+/// window (the tracer is installed after warmup).
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Per-core measurement results, as [`run_multi`] returns.
+    pub results: Vec<RunResult>,
+    /// Retained trace events, oldest first (the ring keeps the most recent
+    /// `SimConfig::trace.capacity` events).
+    pub events: Vec<TraceEvent>,
+    /// Exact per-core lifecycle tallies, immune to ring overflow.
+    pub lifecycle: Vec<LifecycleCounts>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +142,14 @@ fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
 /// Panics if `programs` is empty or the simulation fails to make forward
 /// progress.
 pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
+    run_multi_impl(programs, cfg, insts).0
+}
+
+fn run_multi_impl(
+    programs: &[Program],
+    cfg: &SimConfig,
+    insts: u64,
+) -> (Vec<RunResult>, Option<TraceSink>) {
     assert!(!programs.is_empty(), "need at least one program");
     assert!(insts > 0, "need a nonzero instruction quota");
     let n = programs.len();
@@ -112,6 +180,19 @@ pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunRe
         }
         assert!(now < hard_cap, "warmup did not converge");
     }
+
+    // The tracer is installed *after* warmup so the event stream and the
+    // lifecycle tallies cover exactly the measurement window.
+    let tracer = if cfg.trace.enabled {
+        let t = Tracer::enabled(&cfg.trace);
+        mem.set_tracer(t.clone());
+        for c in cores.iter_mut() {
+            c.set_tracer(&t);
+        }
+        Some(t)
+    } else {
+        None
+    };
 
     // ---- measurement ----
     let snaps: Vec<Snapshot> = cores
@@ -167,10 +248,15 @@ pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunRe
         assert!(now < hard_cap, "measurement did not converge");
     }
 
-    finished
+    let results = finished
         .into_iter()
         .map(|r| r.expect("all finished"))
-        .collect()
+        .collect();
+    // Release the cores' and hierarchy's tracer clones so `finish` can
+    // unwrap the shared sink without copying it.
+    drop(cores);
+    drop(mem);
+    (results, tracer.and_then(|t| t.finish()))
 }
 
 /// Runs a single program to `insts` measured instructions.
@@ -178,6 +264,33 @@ pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
     run_multi(std::slice::from_ref(program), cfg, insts)
         .pop()
         .expect("one result")
+}
+
+/// Like [`run_multi`], but with lifecycle tracing forced on: returns the
+/// per-core results together with the retained trace events and the exact
+/// per-core [`LifecycleCounts`] for the measurement window.
+///
+/// The timing results are identical to an untraced [`run_multi`] of the
+/// same configuration — tracing only observes.
+pub fn run_multi_traced(programs: &[Program], cfg: &SimConfig, insts: u64) -> TracedRun {
+    let mut cfg = cfg.clone();
+    cfg.trace.enabled = true;
+    let (results, sink) = run_multi_impl(programs, &cfg, insts);
+    let sink = sink.expect("tracing was forced on");
+    let (events, mut lifecycle) = sink.into_parts();
+    // A core that never emitted an event has no per-core slot yet; pad so
+    // `lifecycle[i]` is valid for every core.
+    lifecycle.resize(programs.len(), LifecycleCounts::default());
+    TracedRun {
+        results,
+        events,
+        lifecycle,
+    }
+}
+
+/// Single-program convenience wrapper around [`run_multi_traced`].
+pub fn run_single_traced(program: &Program, cfg: &SimConfig, insts: u64) -> TracedRun {
+    run_multi_traced(std::slice::from_ref(program), cfg, insts)
 }
 
 #[cfg(test)]
@@ -318,5 +431,71 @@ mod tests {
         let total: u64 = r.branch_fetch_hist.iter().sum();
         assert!(total > 0);
         assert!(r.branch_fetch_hist[1] > 0, "{:?}", r.branch_fetch_hist);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let p = stream_kernel(32 * 1024);
+        let cfg = quick_cfg(PrefetcherKind::BFetch);
+        let plain = run_single(&p, &cfg, 10_000);
+        let traced = run_single_traced(&p, &cfg, 10_000);
+        assert_eq!(plain, traced.results[0], "tracing must only observe");
+        assert!(!traced.events.is_empty(), "traced run recorded no events");
+    }
+
+    #[test]
+    fn lifecycle_matches_mem_stats() {
+        let p = stream_kernel(32 * 1024);
+        let traced = run_single_traced(&p, &quick_cfg(PrefetcherKind::BFetch), 10_000);
+        let r = &traced.results[0];
+        let lc = &traced.lifecycle[0];
+        // The event stream and MemStats count the same underlying facts
+        // over the same (post-warmup) window.
+        assert_eq!(lc.useful(), r.mem.prefetch_useful, "useful mismatch");
+        assert_eq!(lc.evicted_unused, r.mem.prefetch_useless, "unused mismatch");
+        assert_eq!(lc.merged_late, r.mem.prefetch_late, "late mismatch");
+        // DemandMiss is emitted for every data-side L1D miss not covered by
+        // a prefetch merge.
+        assert_eq!(
+            lc.demand_misses,
+            r.mem.l1d_misses - r.mem.prefetch_late,
+            "demand-miss identity"
+        );
+        assert!(lc.issued > 0 && lc.filled > 0);
+        let m = lc.metrics();
+        assert!(m.accuracy > 0.0 && m.accuracy <= 1.0);
+        assert!(m.coverage > 0.0 && m.coverage <= 1.0);
+    }
+
+    #[test]
+    fn registry_flattens_counters() {
+        let p = stream_kernel(16 * 1024);
+        let r = run_single(&p, &quick_cfg(PrefetcherKind::BFetch), 5_000);
+        let reg = r.registry();
+        assert_eq!(reg.get("core.cycles"), r.cycles);
+        assert_eq!(reg.get("l1d.misses"), r.mem.l1d_misses);
+        assert_eq!(reg.get("prefetch.issued"), r.mem.prefetch_issued);
+        assert_eq!(
+            reg.get("core.branch_fetch_hist.1"),
+            r.branch_fetch_hist[1]
+        );
+        assert!(reg.contains("bfetch.lookaheads"));
+        // Snapshot/delta over a registry built from the same result is zero.
+        let snap = reg.snapshot();
+        assert!(reg.delta(&snap).iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn multi_core_lifecycle_is_per_core() {
+        let p = stream_kernel(16 * 1024);
+        let traced = run_multi_traced(
+            &[p.clone(), p.clone()],
+            &quick_cfg(PrefetcherKind::Stride),
+            5_000,
+        );
+        assert_eq!(traced.lifecycle.len(), 2);
+        for (i, lc) in traced.lifecycle.iter().enumerate() {
+            assert!(lc.issued > 0, "core {i} issued no prefetches");
+        }
     }
 }

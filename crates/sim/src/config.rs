@@ -3,6 +3,7 @@
 use bfetch_core::BFetchConfig;
 use bfetch_mem::{CacheConfig, DramConfig, HierarchyConfig};
 use bfetch_prefetch::{SmsConfig, StrideConfig};
+use bfetch_stats::TraceConfig;
 
 /// Which direction predictor a core uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +111,9 @@ pub struct SimConfig {
     pub prefetch_issue_per_cycle: usize,
     /// Instructions committed per core before measurement begins.
     pub warmup_insts: u64,
+    /// Prefetch-lifecycle event tracing (off by default; the tracer is
+    /// installed after warmup so events cover the measurement window only).
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -147,6 +151,7 @@ impl SimConfig {
             store_forwarding: false,
             prefetch_issue_per_cycle: 2,
             warmup_insts: 50_000,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -206,6 +211,12 @@ impl SimConfig {
     /// Baseline with store-to-load forwarding toggled.
     pub fn with_store_forwarding(mut self, on: bool) -> Self {
         self.store_forwarding = on;
+        self
+    }
+
+    /// Baseline with lifecycle tracing configured (see `bfetch-stats`).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -289,6 +300,14 @@ mod tests {
         assert!(c.store_forwarding);
         // untouched fields keep baseline values
         assert_eq!(c.rob_entries, 192);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_builder_enables() {
+        assert!(!SimConfig::baseline().trace.enabled);
+        let c = SimConfig::baseline().with_trace(TraceConfig::on());
+        assert!(c.trace.enabled);
+        assert!(c.trace.capacity > 0);
     }
 
     #[test]

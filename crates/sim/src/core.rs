@@ -28,6 +28,7 @@ use bfetch_core::{BFetchEngine, DecodedBranch};
 use bfetch_isa::{ArchState, OpClass, Program};
 use bfetch_mem::{AccessKind, HitLevel, MemorySystem};
 use bfetch_prefetch::{AccessEvent, Isb, NextN, PrefetchRequest, Prefetcher, Sms, Stride};
+use bfetch_stats::trace::{TraceKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -112,6 +113,7 @@ pub struct Core {
     cur_iline: u64,
     writers: [Option<u64>; 32],
     counters: CoreCounters,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Core {
@@ -171,7 +173,17 @@ impl Core {
             cur_iline: u64::MAX,
             writers: [None; 32],
             counters: CoreCounters::default(),
+            tracer: Tracer::disabled(),
             cfg: cfg.clone(),
+        }
+    }
+
+    /// Installs a trace handle; the core stamps its own id on branch events
+    /// and forwards a pre-stamped clone to the B-Fetch engine.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.for_core(self.id as u32);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_tracer(self.tracer.clone());
         }
     }
 
@@ -390,6 +402,14 @@ impl Core {
                         fi.pred_strength,
                         fi.pred_taken == fi.taken,
                     );
+                    self.tracer.emit(
+                        now,
+                        TraceKind::BranchResolved {
+                            pc: fi.pc,
+                            taken: fi.taken,
+                            mispredicted: fi.pred_taken != fi.taken,
+                        },
+                    );
                 }
                 if fi.taken {
                     self.btb.install(fi.pc, fi.taken_target);
@@ -515,6 +535,16 @@ impl Core {
                 }
                 fi.regs_snapshot = Some(Box::new(*self.arch.regs()));
                 let confidence = self.conf.estimate(pc, ghr_before, fi.pred_strength);
+                if fi.is_cond {
+                    self.tracer.emit(
+                        now,
+                        TraceKind::BranchPredicted {
+                            pc,
+                            taken: fi.pred_taken,
+                            confidence,
+                        },
+                    );
+                }
                 if let Some(engine) = self.engine.as_mut() {
                     engine.on_branch_decoded(DecodedBranch {
                         pc,

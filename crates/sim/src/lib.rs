@@ -8,7 +8,11 @@
 //! Stride, SMS, B-Fetch, or a Perfect oracle).
 //!
 //! See [`run_single`] / [`run_multi`] for the measurement entry points and
-//! [`analysis`] for the instrumentation used by Figures 3 and 7.
+//! [`analysis`] for the instrumentation used by Figures 3 and 7. The
+//! traced variants ([`run_single_traced`] / [`run_multi_traced`]) add
+//! prefetch-lifecycle observability — typed trace events plus exact
+//! per-core lifecycle tallies — without perturbing timing; enable them
+//! per-config with [`SimConfig::with_trace`] (see `bfetch-stats`).
 //!
 //! ## Fidelity notes (also in DESIGN.md)
 //!
@@ -29,7 +33,8 @@ pub mod energy;
 pub mod ports;
 
 pub use analysis::{delta_cdfs, DeltaCdfs};
-pub use cmp::{run_multi, run_single, RunResult};
+pub use bfetch_stats::TraceConfig;
+pub use cmp::{run_multi, run_multi_traced, run_single, run_single_traced, RunResult, TracedRun};
 pub use config::{PredictorKind, PrefetcherKind, SimConfig};
 pub use core::{Core, CoreCounters};
 pub use energy::{EnergyParams, EnergyReport};

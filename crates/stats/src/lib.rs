@@ -6,6 +6,11 @@
 //! (Section V-A), empirical CDFs (Figure 3), and plain-text table rendering
 //! for the figure/table regeneration binaries.
 //!
+//! It also hosts the simulator-wide observability layer: [`registry`]
+//! (named hierarchical counters with snapshot/delta) and [`trace`]
+//! (cycle-stamped prefetch-lifecycle events and the derived
+//! accuracy/coverage/timeliness metrics).
+//!
 //! # Example
 //!
 //! ```
@@ -17,10 +22,17 @@
 //! ```
 
 pub mod cdf;
+pub mod registry;
 pub mod table;
+pub mod trace;
 
 pub use cdf::Cdf;
+pub use registry::StatsRegistry;
 pub use table::Table;
+pub use trace::{
+    DropReason, LifecycleCounts, LifecycleMetrics, ServiceLevel, TraceConfig, TraceEvent,
+    TraceKind, TraceSink, Tracer,
+};
 
 /// Geometric mean of strictly positive values.
 ///

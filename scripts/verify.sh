@@ -22,6 +22,10 @@ cargo test --workspace -q
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rustdoc (deny warnings) + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+cargo test --workspace --doc -q
+
 echo "==> timing benches compile (criterion-benches feature)"
 cargo check -p bfetch-bench --benches --features criterion-benches -q
 
