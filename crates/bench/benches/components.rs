@@ -159,6 +159,6 @@ fn main() {
             confidence: 0.99,
         });
         engine.tick(now, &bp, &conf);
-        engine.pop_prefetches(4).len()
+        engine.pop_prefetches(4).count()
     });
 }

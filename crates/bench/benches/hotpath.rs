@@ -1,0 +1,107 @@
+//! Hot-path microbenchmarks for the structures the per-cycle loop leans
+//! on: MSHR probes and allocation, cache probe+fill, and a full
+//! `Core::cycle` against the real memory hierarchy. These are the
+//! operations the flat-table/packed-rank rewrite targets, so regressions
+//! here show up before they are visible in `ext_simspeed`.
+//!
+//! Plain `harness = false` timing mains (no external bench framework is
+//! available offline); enable with `--features criterion-benches`:
+//!
+//! ```text
+//! cargo bench -p bfetch-bench --features criterion-benches --bench hotpath
+//! ```
+
+use bfetch_mem::{CacheConfig, MemorySystem, MshrFile, SetAssocCache};
+use bfetch_sim::{Core, PrefetcherKind, SimConfig};
+use bfetch_workloads::{kernel_by_name, Scale};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ITERS: u64 = 200_000;
+
+/// Run `f` ITERS times and print ns/op (median of 3 batches).
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let mut per_op: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..ITERS {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / ITERS as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<28} {:>10.1} ns/op", per_op[1]);
+}
+
+fn main() {
+    println!("{:<28} {:>16}", "bench", "median");
+
+    // MSHR probe against a full file: every lookup scans all slots — the
+    // worst case for the linear probe, and the common case mid-run.
+    let mut mshr = MshrFile::new(4);
+    for i in 0..4u64 {
+        mshr.fill_scheduled(i * 64, u64::MAX, false, 0);
+    }
+    let mut i = 0u64;
+    bench("mshr_lookup_hit", || {
+        i = i.wrapping_add(1);
+        mshr.lookup((i % 4) * 64)
+    });
+    bench("mshr_lookup_miss", || {
+        i = i.wrapping_add(1);
+        mshr.lookup(0x1000 + (i % 64) * 64)
+    });
+
+    // Allocate/expire churn: request → fill_scheduled → expire, the full
+    // life of one demand miss through a 32-entry (prefetch-sized) file.
+    let mut pf = MshrFile::new(32);
+    let mut now = 0u64;
+    bench("mshr_alloc_expire", || {
+        now += 4;
+        let line = (now % 4096) * 64;
+        let _ = pf.request(line, now);
+        pf.fill_scheduled(line, now + 200, true, 7);
+        pf.expire(now.saturating_sub(220));
+        pf.len()
+    });
+
+    // Cache probe+fill over a footprint 4x the capacity, so roughly every
+    // fourth access misses and exercises rank promotion + victim choice.
+    let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
+    let mut i = 0u64;
+    bench("cache_probe_fill", || {
+        i = i.wrapping_add(64);
+        let addr = i % (256 * 1024);
+        if cache.access(addr).is_none() {
+            cache.insert(addr, Default::default());
+        }
+        addr
+    });
+
+    // Hit-only probes: the steady-state L1 path (find + promote).
+    let mut hot = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 2));
+    for w in 0..8u64 {
+        hot.insert(w * 64, Default::default());
+    }
+    let mut i = 0u64;
+    bench("cache_hit_promote", || {
+        i = i.wrapping_add(1);
+        hot.access((i % 8) * 64).is_some()
+    });
+
+    // Full Core::cycle on a pointer-chasing kernel with the B-Fetch engine
+    // attached: fetch, schedule, commit, prefetch issue — the whole
+    // per-cycle loop that ext_simspeed measures end to end.
+    let k = kernel_by_name("mcf").expect("kernel registered");
+    let cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+    let mut core = Core::new(0, k.build(Scale::Small), &cfg);
+    let mut mem = MemorySystem::new(cfg.hierarchy(1));
+    let mut now = 0u64;
+    bench("core_cycle_mcf_bfetch", || {
+        now += 1;
+        core.cycle(now, &mut mem);
+        mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
+        core.counters().committed
+    });
+}

@@ -1,0 +1,296 @@
+//! Simulator-throughput benchmark: wall-clock simulated-cycles/sec and
+//! peak RSS for every kernel (B-Fetch config, single core) plus an 8-core
+//! mix, written to `BENCH_simspeed.json` so each PR can show its speed
+//! delta against the recorded baseline (DESIGN.md "Performance
+//! engineering" documents the methodology and file format).
+//!
+//! Flags beyond the common set:
+//!
+//! ```text
+//! --quick        reduced instruction budget (CI smoke run)
+//! --label NAME   key for this run in the JSON file (default "current")
+//! --out PATH     output file (default BENCH_simspeed.json in the cwd)
+//! ```
+//!
+//! The file accumulates: re-running with a different `--label` merges a
+//! new entry instead of overwriting, so "baseline" and "current" numbers
+//! coexist and the tool reports the speedup between them.
+
+use bfetch_bench::harness::jsonio::Json;
+use bfetch_bench::{usage, Opts};
+use bfetch_sim::{run_multi, run_single, PrefetcherKind};
+use bfetch_stats::Table;
+use bfetch_workloads::kernels;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed simulation: simulated cycles in the measurement window and
+/// the wall-clock seconds for the whole run (warmup included).
+struct Sample {
+    cycles: u64,
+    wall_s: f64,
+}
+
+impl Sample {
+    fn rate(&self) -> f64 {
+        self.cycles as f64 / self.wall_s
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".into(), Json::u64_of(self.cycles)),
+            ("wall_s".into(), Json::f64_of(round6(self.wall_s))),
+            ("cycles_per_sec".into(), Json::f64_of(round1(self.rate()))),
+        ])
+    }
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn main() {
+    // Split our own flags out before handing the rest to the common parser.
+    let mut quick = false;
+    let mut label = String::from("current");
+    let mut out_path = PathBuf::from("BENCH_simspeed.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--label" => match args.next() {
+                Some(v) => label = v,
+                None => die("--label requires a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_path = PathBuf::from(v),
+                None => die("--out requires a value"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simulator-throughput benchmark\n\
+                     \x20 --quick                  reduced instruction budget (CI smoke run)\n\
+                     \x20 --label NAME             run key in the JSON file (default current)\n\
+                     \x20 --out PATH               output file (default BENCH_simspeed.json)\n\
+                     {}",
+                    usage()
+                );
+                return;
+            }
+            _ => rest.push(a),
+        }
+    }
+    let mut opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    // Timing runs are strictly serial and never touch the result cache;
+    // --quick shrinks the budget unless the user pinned one explicitly.
+    let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");
+    let explicit_warmup = std::env::args().any(|a| a == "--warmup");
+    if quick {
+        if !explicit_insts {
+            opts.instructions = 30_000;
+        }
+        if !explicit_warmup {
+            opts.warmup = 15_000;
+        }
+    }
+    let cfg = opts.config(PrefetcherKind::BFetch);
+    let selected = opts.selected_kernels();
+
+    let mut per_kernel: Vec<(&'static str, Sample)> = Vec::new();
+    let mut total_cycles = 0u64;
+    let mut total_wall = 0f64;
+    for k in &selected {
+        let program = k.build(opts.scale);
+        let t0 = Instant::now();
+        let r = run_single(&program, &cfg, opts.instructions);
+        let wall_s = t0.elapsed().as_secs_f64();
+        total_cycles += r.cycles;
+        total_wall += wall_s;
+        per_kernel.push((k.name, Sample { cycles: r.cycles, wall_s }));
+    }
+
+    // 8-core mix: the first eight registry kernels sharing one hierarchy.
+    // Sum of per-core measured cycles over one wall clock, i.e. aggregate
+    // core-cycles/sec — the CMP figures' unit of work.
+    let mix_members: Vec<&bfetch_workloads::Kernel> = kernels().iter().take(8).collect();
+    let mix_insts = if quick { 15_000 } else { opts.instructions.min(120_000) };
+    let mix_warmup = if quick { 8_000 } else { opts.warmup.min(60_000) };
+    let mix_cfg = cfg.clone().with_warmup(mix_warmup);
+    let programs: Vec<_> = mix_members.iter().map(|k| k.build(opts.scale)).collect();
+    let t0 = Instant::now();
+    let results = run_multi(&programs, &mix_cfg, mix_insts);
+    let mix = Sample {
+        cycles: results.iter().map(|r| r.cycles).sum(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    total_cycles += mix.cycles;
+    total_wall += mix.wall_s;
+    let total = Sample {
+        cycles: total_cycles,
+        wall_s: total_wall,
+    };
+
+    // -- report ------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "sim cycles".into(),
+        "wall s".into(),
+        "Mcyc/s".into(),
+    ]);
+    for (name, s) in per_kernel.iter().chain(std::iter::once(&("mix8", Sample {
+        cycles: mix.cycles,
+        wall_s: mix.wall_s,
+    }))) {
+        t.row(vec![
+            name.to_string(),
+            s.cycles.to_string(),
+            format!("{:.3}", s.wall_s),
+            format!("{:.3}", s.rate() / 1e6),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        total.cycles.to_string(),
+        format!("{:.3}", total.wall_s),
+        format!("{:.3}", total.rate() / 1e6),
+    ]);
+    println!(
+        "== Extension: simulator throughput ({}{}) ==",
+        label,
+        if quick { ", --quick" } else { "" }
+    );
+    print!("{t}");
+
+    // -- merge into the JSON file ------------------------------------------
+    let mut kernels_json: Vec<(String, Json)> = per_kernel
+        .iter()
+        .map(|(name, s)| (name.to_string(), s.to_json()))
+        .collect();
+    kernels_json.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut entry = vec![
+        ("quick".into(), Json::Bool(quick)),
+        ("instructions".into(), Json::u64_of(opts.instructions)),
+        ("warmup".into(), Json::u64_of(opts.warmup)),
+        ("kernels".into(), Json::Obj(kernels_json)),
+        ("mix8".into(), mix.to_json()),
+        ("total".into(), total.to_json()),
+    ];
+    if let Some(rss) = peak_rss_bytes() {
+        entry.push(("peak_rss_bytes".into(), Json::u64_of(rss)));
+    }
+
+    let mut runs: Vec<(String, Json)> = match std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| Json::parse(&text))
+        .and_then(|j| j.get("runs").cloned())
+    {
+        Some(Json::Obj(fields)) => fields,
+        _ => Vec::new(),
+    };
+    runs.retain(|(k, _)| k != &label);
+    runs.push((label.clone(), Json::Obj(entry)));
+    runs.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Speedup of this run over the recorded baseline, when one exists with
+    // a matching budget (quick and full numbers are not comparable).
+    if let Some(base_rate) = runs
+        .iter()
+        .find(|(k, _)| k == "baseline" && label != "baseline")
+        .map(|(_, v)| v)
+        .filter(|v| v.get("quick").map(|q| *q == Json::Bool(quick)).unwrap_or(false))
+        .and_then(|v| v.get("total")?.get("cycles_per_sec")?.as_f64())
+    {
+        let speedup = total.rate() / base_rate;
+        println!(
+            "speedup vs baseline: {speedup:.2}x ({:.3} -> {:.3} Mcyc/s)",
+            base_rate / 1e6,
+            total.rate() / 1e6
+        );
+        if let Some((_, Json::Obj(fields))) = runs.iter_mut().find(|(k, _)| k == &label) {
+            fields.push((
+                "speedup_vs_baseline".into(),
+                Json::f64_of((speedup * 1000.0).round() / 1000.0),
+            ));
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::u64_of(1)),
+        ("runs".into(), Json::Obj(runs)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, pretty(&doc)) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Peak resident set size from `/proc/self/status` (`None` off Linux).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// Two-level pretty printer: one line per run-entry field, so diffs of the
+/// committed file stay reviewable.
+fn pretty(doc: &Json) -> String {
+    let mut out = String::from("{\n");
+    if let Json::Obj(top) = doc {
+        for (i, (k, v)) in top.iter().enumerate() {
+            out.push_str(&format!("  {}: ", Json::Str(k.clone())));
+            match v {
+                Json::Obj(runs) if k == "runs" => {
+                    out.push_str("{\n");
+                    for (j, (name, entry)) in runs.iter().enumerate() {
+                        out.push_str(&format!("    {}: ", Json::Str(name.clone())));
+                        match entry {
+                            Json::Obj(fields) => {
+                                out.push_str("{\n");
+                                for (l, (fk, fv)) in fields.iter().enumerate() {
+                                    out.push_str(&format!(
+                                        "      {}: {}{}\n",
+                                        Json::Str(fk.clone()),
+                                        fv,
+                                        if l + 1 < fields.len() { "," } else { "" }
+                                    ));
+                                }
+                                out.push_str("    }");
+                            }
+                            other => out.push_str(&other.to_string()),
+                        }
+                        out.push_str(if j + 1 < runs.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str("  }");
+                }
+                other => out.push_str(&other.to_string()),
+            }
+            out.push_str(if i + 1 < top.len() { ",\n" } else { "\n" });
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,126 @@
+//! Golden-determinism fixtures: two kernels are simulated at a pinned
+//! scale/instruction budget and every counter of `RunResult::registry()`
+//! must match the committed snapshot exactly. This pins cycle-level
+//! behaviour of the hot-path data structures (MSHR probe table, packed-rank
+//! LRU, scratch-buffer drains) — any rewrite that changes a single victim
+//! choice or fill ordering shows up as a counter diff here.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! BFETCH_BLESS=1 cargo test -p bfetch-bench --test golden
+//! ```
+//!
+//! then review the fixture diff like any other behavioural change.
+
+use bfetch_sim::{run_single, run_single_traced, PrefetcherKind, SimConfig};
+use bfetch_stats::StatsRegistry;
+use bfetch_workloads::{kernel_by_name, Scale};
+use std::path::PathBuf;
+
+const INSTRUCTIONS: u64 = 20_000;
+const WARMUP: u64 = 5_000;
+
+/// The pinned scenarios: (kernel, prefetcher, fixture stem). One
+/// pointer-chasing and one streaming kernel, each under the baseline
+/// (no-prefetch) and B-Fetch configurations, so both the demand path and
+/// the full engine/prefetch path are covered.
+const SCENARIOS: [(&str, PrefetcherKind, &str); 4] = [
+    ("mcf", PrefetcherKind::None, "mcf_none"),
+    ("mcf", PrefetcherKind::BFetch, "mcf_bfetch"),
+    ("libquantum", PrefetcherKind::None, "libquantum_none"),
+    ("libquantum", PrefetcherKind::BFetch, "libquantum_bfetch"),
+];
+
+fn fixture_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{stem}.txt"))
+}
+
+fn render(reg: &StatsRegistry) -> String {
+    // BTreeMap iteration order is already sorted, so the rendering is
+    // canonical: one `name value` line per counter.
+    let mut out = String::new();
+    for (name, value) in reg.iter() {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_scenario(kernel: &str, kind: PrefetcherKind) -> StatsRegistry {
+    let k = kernel_by_name(kernel).expect("kernel registered");
+    let cfg = SimConfig::baseline()
+        .with_prefetcher(kind)
+        .with_warmup(WARMUP);
+    run_single(&k.build(Scale::Small), &cfg, INSTRUCTIONS).registry()
+}
+
+#[test]
+fn registry_counters_match_committed_fixtures() {
+    let bless = std::env::var_os("BFETCH_BLESS").is_some();
+    let mut failures = Vec::new();
+    for (kernel, kind, stem) in SCENARIOS {
+        let got = render(&run_scenario(kernel, kind));
+        let path = fixture_path(stem);
+        if bless {
+            std::fs::write(&path, &got).expect("write fixture");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with BFETCH_BLESS=1 to create it", path.display()));
+        if got != want {
+            let diff: Vec<String> = diff_lines(&want, &got);
+            failures.push(format!("{stem}:\n{}", diff.join("\n")));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden fixtures diverged (intentional model changes need BFETCH_BLESS=1 + fixture review):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Tracing must be an observer: a traced run's registry equals the
+/// untraced fixture byte-for-byte.
+#[test]
+fn traced_run_matches_untraced_fixture() {
+    let (kernel, kind, stem) = SCENARIOS[1]; // mcf + bfetch: full engine path
+    let k = kernel_by_name(kernel).expect("kernel registered");
+    let cfg = SimConfig::baseline()
+        .with_prefetcher(kind)
+        .with_warmup(WARMUP)
+        .with_trace(bfetch_sim::TraceConfig::on());
+    let traced = run_single_traced(&k.build(Scale::Small), &cfg, INSTRUCTIONS);
+    let got = render(&traced.results[0].registry());
+    if std::env::var_os("BFETCH_BLESS").is_some() {
+        // the untraced test owns the fixture; here we only compare
+        return;
+    }
+    let want = std::fs::read_to_string(fixture_path(stem)).expect("fixture exists");
+    assert_eq!(got, want, "tracing changed simulation outcomes for {stem}");
+}
+
+fn diff_lines(want: &str, got: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut want_it = want.lines();
+    let mut got_it = got.lines();
+    loop {
+        match (want_it.next(), got_it.next()) {
+            (None, None) => break,
+            (w, g) => {
+                if w != g {
+                    out.push(format!(
+                        "  fixture: {}  |  run: {}",
+                        w.unwrap_or("<eof>"),
+                        g.unwrap_or("<eof>")
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

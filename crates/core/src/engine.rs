@@ -128,6 +128,10 @@ pub struct BFetchEngine {
     // waste prefetch-port bandwidth on hierarchy-side redundancy drops
     recent_lines: [u64; 64],
     recent_pos: usize,
+    // per-walk scratch, reused across calls so the per-cycle path never
+    // allocates once warm (DESIGN.md "Performance engineering")
+    slot_scratch: Vec<crate::mht::MhtSlot>,
+    visit_scratch: Vec<(u64, u32)>, // (bb key, visit count) for loop detection
     stats: EngineStats,
     tracer: Tracer,
 }
@@ -148,6 +152,8 @@ impl BFetchEngine {
             bb_snapshot: [0; 32],
             recent_lines: [u64::MAX; 64],
             recent_pos: 0,
+            slot_scratch: Vec::with_capacity(cfg.mht_slots),
+            visit_scratch: Vec::with_capacity(8),
             stats: EngineStats::default(),
             tracer: Tracer::disabled(),
             cfg,
@@ -234,13 +240,18 @@ impl BFetchEngine {
     }
 
     fn emit_for_block(&mut self, key: u64, branch_pc: u64, loop_cnt: u32, now: u64) {
-        let Some(slots) = self.mht.lookup(key, branch_pc) else {
-            return;
-        };
-        // copy out to satisfy the borrow checker; 3 slots is tiny
-        let slots: Vec<_> = slots.iter().filter(|s| s.valid).copied().collect();
+        // copy the valid slots into the reusable scratch buffer (disjoint
+        // field borrows: `mht` is read while `slot_scratch` is written)
+        self.slot_scratch.clear();
+        match self.mht.lookup(key, branch_pc) {
+            Some(slots) => self
+                .slot_scratch
+                .extend(slots.iter().filter(|s| s.valid).copied()),
+            None => return,
+        }
         let effective_loop_cnt = if self.cfg.enable_loops { loop_cnt } else { 0 };
-        for s in slots {
+        for i in 0..self.slot_scratch.len() {
+            let s = self.slot_scratch[i];
             let base = s.prefetch_address(self.arf.read(s.reg_idx as usize), effective_loop_cnt);
             if self.cfg.enable_filter && !self.filter.allow(s.load_pc_hash) {
                 self.stats.filtered += 1;
@@ -305,18 +316,19 @@ impl BFetchEngine {
         } else {
             db.fallthrough
         };
-        // (key, visit count) pairs for runtime loop detection
-        let mut visits: Vec<(u64, u32)> = Vec::with_capacity(8);
+        // (key, visit count) pairs for runtime loop detection, in the
+        // reusable per-walk scratch buffer
+        self.visit_scratch.clear();
 
         for depth in 0..self.cfg.max_lookahead {
             let key = bb_key(cur_pc, cur_taken, cur_target);
-            let loop_cnt = match visits.iter_mut().find(|(k, _)| *k == key) {
+            let loop_cnt = match self.visit_scratch.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, n)) => {
                     *n = (*n + 1).min(self.cfg.loop_cnt_max);
                     *n
                 }
                 None => {
-                    visits.push((key, 0));
+                    self.visit_scratch.push((key, 0));
                     0
                 }
             };
@@ -369,17 +381,22 @@ impl BFetchEngine {
         }
     }
 
-    /// Drains up to `max` prefetch candidates from the queue.
-    pub fn pop_prefetches(&mut self, max: usize) -> Vec<PrefetchCandidate> {
+    /// Drains up to `max` prefetch candidates from the queue, oldest
+    /// first, without allocating (the caller consumes the iterator; any
+    /// items it leaves unconsumed are still removed from the queue).
+    pub fn pop_prefetches(
+        &mut self,
+        max: usize,
+    ) -> impl Iterator<Item = PrefetchCandidate> + '_ {
         let n = max.min(self.queue.len());
-        self.queue.drain(..n).collect()
+        self.queue.drain(..n)
     }
 
     /// Drains up to `max` *instruction* prefetch addresses (empty unless
     /// [`BFetchConfig::inst_prefetch`] is enabled).
-    pub fn pop_inst_prefetches(&mut self, max: usize) -> Vec<u64> {
+    pub fn pop_inst_prefetches(&mut self, max: usize) -> impl Iterator<Item = u64> + '_ {
         let n = max.min(self.iqueue.len());
-        self.iqueue.drain(..n).collect()
+        self.iqueue.drain(..n)
     }
 
     fn push_inst_candidate(&mut self, pc: u64) {
@@ -525,7 +542,7 @@ mod tests {
         });
         e.tick(1001, &bp, &conf);
 
-        let got = e.pop_prefetches(64);
+        let got: Vec<_> = e.pop_prefetches(64).collect();
         assert!(!got.is_empty(), "lookahead produced no prefetches");
         let r2_now = regs[2];
         let expect0 = r2_now + 0x18;
@@ -561,7 +578,7 @@ mod tests {
         e.tick(0, &bp, &conf);
         assert_eq!(e.stats().confidence_stops, 1);
         assert_eq!(e.stats().branches_walked, 0);
-        assert!(e.pop_prefetches(10).is_empty());
+        assert!(e.pop_prefetches(10).next().is_none());
     }
 
     #[test]
@@ -628,7 +645,7 @@ mod tests {
         });
         e.tick(0, &bp, &conf);
         assert!(
-            e.pop_prefetches(10).is_empty(),
+            e.pop_prefetches(10).next().is_none(),
             "muted load must not prefetch"
         );
         assert!(e.stats().filtered > 0);

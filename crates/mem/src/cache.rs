@@ -48,29 +48,6 @@ pub struct LineMeta {
     pub fill_at: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64, // full line address
-    stamp: u64,
-    meta: LineMeta,
-    valid: bool,
-}
-
-impl Line {
-    const INVALID: Line = Line {
-        tag: 0,
-        stamp: 0,
-        meta: LineMeta {
-            prefetched: false,
-            used: false,
-            pc_hash: 0,
-            dirty: false,
-            fill_at: 0,
-        },
-        valid: false,
-    };
-}
-
 /// Hit/miss counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -96,10 +73,23 @@ impl CacheStats {
     }
 }
 
+/// An invalid way: `rank` holds either an LRU age (0 = MRU) or this
+/// sentinel. Associativities are ≤ 16, far below the sentinel.
+const INVALID: u8 = u8::MAX;
+
 /// A set-associative, LRU-replacement cache over 64 B lines.
 ///
 /// Timing lives in the [`hierarchy`](crate::hierarchy); this type tracks
 /// presence, replacement and prefetch metadata only.
+///
+/// Storage is split into parallel set-major arrays: the probe loop walks
+/// only the packed tag and rank words (at 16 ways that is two cache lines
+/// of tags and 16 bytes of ranks), while the larger [`LineMeta`] payload
+/// is touched on hits alone. Replacement state is an exact-LRU age per
+/// way — `rank == 0` is MRU, `rank == valid_ways - 1` is the victim —
+/// updated in place instead of scanning 64-bit timestamps. The valid
+/// ranks of a set always form a permutation of `0..valid_ways`, which
+/// makes victim choice a rank comparison with no tie to break.
 ///
 /// # Example
 ///
@@ -114,8 +104,9 @@ impl CacheStats {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: usize,
-    lines: Vec<Line>, // sets * ways, set-major
-    tick: u64,
+    tags: Vec<u64>, // sets * ways, set-major; meaningful iff rank != INVALID
+    ranks: Vec<u8>, // LRU age per way, or INVALID
+    metas: Vec<LineMeta>,
     stats: CacheStats,
 }
 
@@ -128,17 +119,21 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics unless the geometry yields a power-of-two, nonzero set count.
+    /// Panics unless the geometry yields a power-of-two, nonzero set count
+    /// (and the associativity leaves room for the invalid-rank sentinel).
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(cfg.ways > 0, "associativity must be nonzero");
+        assert!(cfg.ways < INVALID as usize, "associativity too large");
+        let n = sets * cfg.ways;
         Self {
             cfg,
             sets,
-            lines: vec![Line::INVALID; sets * cfg.ways],
-            tick: 0,
+            tags: vec![0; n],
+            ranks: vec![INVALID; n],
+            metas: vec![LineMeta::default(); n],
             stats: CacheStats::default(),
         }
     }
@@ -154,10 +149,29 @@ impl SetAssocCache {
     }
 
     #[inline]
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = ((line / LINE_BYTES) as usize) & (self.sets - 1);
-        let base = set * self.cfg.ways;
-        base..base + self.cfg.ways
+    fn set_base(&self, line: u64) -> usize {
+        (((line / LINE_BYTES) as usize) & (self.sets - 1)) * self.cfg.ways
+    }
+
+    /// Index of `line`'s way within `base..base + ways`, if present.
+    #[inline]
+    fn find(&self, base: usize, line: u64) -> Option<usize> {
+        let ways = self.cfg.ways;
+        (base..base + ways)
+            .find(|&i| self.ranks[i] != INVALID && self.tags[i] == line)
+    }
+
+    /// Makes way `i` the set's MRU: every valid way younger than it ages
+    /// by one. Preserves the rank permutation.
+    #[inline]
+    fn promote(&mut self, base: usize, i: usize) {
+        let old = self.ranks[i];
+        for r in &mut self.ranks[base..base + self.cfg.ways] {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.ranks[i] = 0;
     }
 
     /// Demand lookup. On hit, refreshes LRU, marks the line used, and
@@ -165,17 +179,13 @@ impl SetAssocCache {
     /// caller can detect the first use of a prefetched line).
     pub fn access(&mut self, addr: u64) -> Option<LineMeta> {
         let line = line_of(addr);
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.valid && l.tag == line {
-                let before = l.meta;
-                l.stamp = tick;
-                l.meta.used = true;
-                self.stats.hits += 1;
-                return Some(before);
-            }
+        let base = self.set_base(line);
+        if let Some(i) = self.find(base, line) {
+            let before = self.metas[i];
+            self.promote(base, i);
+            self.metas[i].used = true;
+            self.stats.hits += 1;
+            return Some(before);
         }
         self.stats.misses += 1;
         None
@@ -184,85 +194,77 @@ impl SetAssocCache {
     /// Presence probe without LRU, metadata or statistics side effects.
     pub fn probe(&self, addr: u64) -> bool {
         let line = line_of(addr);
-        let range = self.set_range(line);
-        self.lines[range].iter().any(|l| l.valid && l.tag == line)
+        self.find(self.set_base(line), line).is_some()
     }
 
     /// Installs `addr`'s line with `meta`, evicting the LRU victim if the
     /// set is full. Returns the victim, if any.
     pub fn insert(&mut self, addr: u64, meta: LineMeta) -> Evicted {
         let line = line_of(addr);
-        self.tick += 1;
-        let tick = self.tick;
         if meta.prefetched {
             self.stats.prefetch_fills += 1;
         }
-        let range = self.set_range(line);
-        // already present: refresh
-        for l in &mut self.lines[range.clone()] {
-            if l.valid && l.tag == line {
-                l.stamp = tick;
-                return None;
-            }
+        let base = self.set_base(line);
+        let ways = self.cfg.ways;
+        // already present: refresh recency only (metadata is kept)
+        if let Some(i) = self.find(base, line) {
+            self.promote(base, i);
+            return None;
         }
-        // free way
-        for l in &mut self.lines[range.clone()] {
-            if !l.valid {
-                *l = Line {
-                    tag: line,
-                    stamp: tick,
-                    meta,
-                    valid: true,
-                };
-                return None;
+        // free way (first invalid in way order)
+        if let Some(i) = (base..base + ways).find(|&i| self.ranks[i] == INVALID) {
+            for r in &mut self.ranks[base..base + ways] {
+                if *r != INVALID {
+                    *r += 1;
+                }
             }
+            self.ranks[i] = 0;
+            self.tags[i] = line;
+            self.metas[i] = meta;
+            return None;
         }
-        // evict LRU
-        let victim_idx = range
-            .clone()
-            .min_by_key(|&i| self.lines[i].stamp)
+        // evict LRU: the way holding the maximum rank
+        let victim_idx = (base..base + ways)
+            .max_by_key(|&i| self.ranks[i])
             .expect("nonempty set");
-        let victim = self.lines[victim_idx];
-        if victim.meta.prefetched && !victim.meta.used {
+        let victim = (self.tags[victim_idx], self.metas[victim_idx]);
+        if victim.1.prefetched && !victim.1.used {
             self.stats.prefetch_evicted_unused += 1;
         }
-        self.lines[victim_idx] = Line {
-            tag: line,
-            stamp: tick,
-            meta,
-            valid: true,
-        };
-        Some((victim.tag, victim.meta))
+        self.promote(base, victim_idx);
+        self.tags[victim_idx] = line;
+        self.metas[victim_idx] = meta;
+        Some(victim)
     }
 
     /// Marks `addr`'s line dirty if present (store hit).
     pub fn mark_dirty(&mut self, addr: u64) {
         let line = line_of(addr);
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.valid && l.tag == line {
-                l.meta.dirty = true;
-                return;
-            }
+        if let Some(i) = self.find(self.set_base(line), line) {
+            self.metas[i].dirty = true;
         }
     }
 
     /// Invalidates `addr`'s line if present, returning its metadata.
     pub fn invalidate(&mut self, addr: u64) -> Option<LineMeta> {
         let line = line_of(addr);
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.valid && l.tag == line {
-                l.valid = false;
-                return Some(l.meta);
+        let base = self.set_base(line);
+        let i = self.find(base, line)?;
+        let old = self.ranks[i];
+        // re-compact surviving ranks so they stay a 0..valid_ways
+        // permutation
+        for r in &mut self.ranks[base..base + self.cfg.ways] {
+            if *r != INVALID && *r > old {
+                *r -= 1;
             }
         }
-        None
+        self.ranks[i] = INVALID;
+        Some(self.metas[i])
     }
 
     /// Number of currently valid lines (for occupancy checks in tests).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.ranks.iter().filter(|&&r| r != INVALID).count()
     }
 }
 
@@ -375,6 +377,17 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_makes_line_mru() {
+        let mut c = small();
+        c.insert(0x0, LineMeta::default());
+        c.insert(0x100, LineMeta::default());
+        c.insert(0x0, LineMeta::default()); // refresh: 0x100 is now LRU
+        c.insert(0x200, LineMeta::default());
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x100));
+    }
+
+    #[test]
     fn invalidate_removes() {
         let mut c = small();
         c.insert(0x0, LineMeta::default());
@@ -384,12 +397,54 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_keeps_lru_order_of_survivors() {
+        // 3-way set: fill a, b, c (LRU order a < b < c), invalidate b,
+        // insert d, e — evictions must follow a, then c
+        let mut c = SetAssocCache::new(CacheConfig::new(192, 3, 1)); // 1 set x 3 ways
+        c.insert(0x0, LineMeta::default());
+        c.insert(0x40, LineMeta::default());
+        c.insert(0x80, LineMeta::default());
+        c.invalidate(0x40);
+        c.insert(0xc0, LineMeta::default()); // takes the freed way
+        let (v1, _) = c.insert(0x100, LineMeta::default()).expect("evicts");
+        assert_eq!(v1, 0x0, "oldest survivor goes first");
+        let (v2, _) = c.insert(0x140, LineMeta::default()).expect("evicts");
+        assert_eq!(v2, 0x80);
+    }
+
+    #[test]
     fn probe_has_no_side_effects() {
         let mut c = small();
         c.insert(0x0, LineMeta::default());
         let s = *c.stats();
         assert!(c.probe(0x0));
         assert_eq!(*c.stats(), s);
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation_under_churn() {
+        // deterministic pseudo-random workload over one 4-way set
+        let mut c = SetAssocCache::new(CacheConfig::new(256, 4, 1)); // 1 set x 4 ways
+        let mut x = 0x9e3779b9u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let line = (x >> 33) % 16 * 64;
+            match x % 3 {
+                0 => {
+                    c.insert(line, LineMeta::default());
+                }
+                1 => {
+                    c.access(line);
+                }
+                _ => {
+                    c.invalidate(line);
+                }
+            }
+            let mut ranks: Vec<u8> = c.ranks.iter().copied().filter(|&r| r != INVALID).collect();
+            ranks.sort_unstable();
+            let want: Vec<u8> = (0..ranks.len() as u8).collect();
+            assert_eq!(ranks, want, "valid ranks must stay a permutation");
+        }
     }
 
     #[test]

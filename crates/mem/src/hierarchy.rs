@@ -236,8 +236,13 @@ pub struct MemorySystem {
     dram: Dram,
     mshr: Vec<MshrFile>,
     pf_mshr: Vec<MshrFile>,
-    fills: BinaryHeap<Reverse<(u64, u64)>>, // (complete_at, id)
+    // (complete_at, seq, slot): `seq` is a monotone issue counter so fills
+    // completing on the same cycle retire in issue order even though slots
+    // are recycled through the free list.
+    fills: BinaryHeap<Reverse<(u64, u64, u64)>>,
     fill_data: Vec<Option<PendingFill>>,
+    fill_free: Vec<u64>,
+    fill_seq: u64,
     feedback: Vec<PrefetchFeedback>,
     stats: Vec<MemStats>,
     tracer: Tracer,
@@ -269,6 +274,8 @@ impl MemorySystem {
                 .collect(),
             fills: BinaryHeap::new(),
             fill_data: Vec::new(),
+            fill_free: Vec::new(),
+            fill_seq: 0,
             feedback: Vec::new(),
             stats: vec![MemStats::default(); cfg.cores],
             tracer: Tracer::disabled(),
@@ -308,26 +315,47 @@ impl MemorySystem {
         std::mem::take(&mut self.feedback)
     }
 
+    /// Drains pending feedback through a callback, keeping the buffer's
+    /// capacity. The per-cycle path uses this so an idle chip does no heap
+    /// work ([`MemorySystem::take_feedback`] hands the whole vector out and
+    /// forces a fresh allocation on the next event).
+    pub fn drain_feedback(&mut self, mut f: impl FnMut(PrefetchFeedback)) {
+        for fb in self.feedback.drain(..) {
+            f(fb);
+        }
+    }
+
     #[inline]
     fn translate(core: usize, addr: u64) -> u64 {
         addr.wrapping_add(core as u64 * CORE_ADDR_STRIDE)
     }
 
     fn schedule_fill(&mut self, fill: PendingFill) {
-        let id = self.fill_data.len() as u64;
-        self.fill_data.push(Some(fill));
-        self.fills.push(Reverse((fill.complete_at, id)));
+        let slot = match self.fill_free.pop() {
+            Some(i) => {
+                self.fill_data[i as usize] = Some(fill);
+                i
+            }
+            None => {
+                self.fill_data.push(Some(fill));
+                (self.fill_data.len() - 1) as u64
+            }
+        };
+        let seq = self.fill_seq;
+        self.fill_seq += 1;
+        self.fills.push(Reverse((fill.complete_at, seq, slot)));
     }
 
     /// Installs every fill that has completed by `now` and retires the
     /// corresponding MSHR entries.
     pub fn drain(&mut self, now: u64) {
-        while let Some(&Reverse((t, id))) = self.fills.peek() {
+        while let Some(&Reverse((t, _seq, slot))) = self.fills.peek() {
             if t > now {
                 break;
             }
             self.fills.pop();
-            let fill = self.fill_data[id as usize].take().expect("fill present");
+            let fill = self.fill_data[slot as usize].take().expect("fill present");
+            self.fill_free.push(slot);
             let core = fill.core;
             if fill.fill_l3 {
                 let v3 = self.l3.insert(fill.phys, LineMeta::default());
@@ -1014,6 +1042,25 @@ mod tests {
         assert_eq!(stats_a, stats_b);
         drop(traced);
         assert!(t.finish().unwrap().total_recorded() > 0);
+    }
+
+    #[test]
+    fn fill_slots_are_recycled() {
+        // fill bookkeeping must not grow with run length: after each fill
+        // completes, its slot is reused by the next outstanding miss
+        let mut m = sys(1);
+        let mut now = 0;
+        for i in 0..200u64 {
+            let out = m.access(0, AccessKind::Load, 0x10_0000 + i * 64 * 1024, now);
+            now = out.complete_at + 1;
+        }
+        m.drain(now + 1000);
+        assert!(
+            m.fill_data.len() < 16,
+            "fill pool grew to {} for strictly serial misses",
+            m.fill_data.len()
+        );
+        assert_eq!(m.fill_free.len(), m.fill_data.len(), "all slots free");
     }
 
     #[test]

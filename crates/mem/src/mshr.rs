@@ -1,7 +1,5 @@
 //! Miss status holding registers.
 
-use std::collections::HashMap;
-
 /// Result of consulting the MSHR file for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -24,18 +22,38 @@ pub enum MshrOutcome {
     },
 }
 
+/// One register of the file. `valid` gates the slot: real hardware keeps a
+/// fixed bank of registers and a free bit per entry, and the flat layout
+/// keeps every lookup a short linear probe over one contiguous array
+/// instead of a `HashMap` walk.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Slot {
+    line: u64,
     complete_at: u64,
-    is_prefetch: bool,
     pc_hash: u16,
+    is_prefetch: bool,
+    valid: bool,
 }
+
+const FREE: Slot = Slot {
+    line: 0,
+    complete_at: 0,
+    pc_hash: 0,
+    is_prefetch: false,
+    valid: false,
+};
 
 /// A bounded file of outstanding line misses.
 ///
 /// Secondary misses to an in-flight line merge with the primary. When all
 /// entries are busy, new misses are delayed until the earliest outstanding
 /// fill returns — modelling the structural stall a full MSHR file causes.
+///
+/// The file is a fixed-capacity array sized at construction; MSHR files
+/// are small (4–32 entries), so probes are linear scans that stay within
+/// one or two cache lines and never allocate. Victim selection on an
+/// overfull insert is by `(complete_at, line)`, which is deterministic by
+/// construction — no iteration-order tie-break needed.
 ///
 /// # Example
 ///
@@ -48,8 +66,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    capacity: usize,
-    entries: HashMap<u64, Entry>,
+    slots: Box<[Slot]>,
+    live: usize,
     merges: u64,
     full_stalls: u64,
 }
@@ -63,35 +81,49 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         Self {
-            capacity,
-            entries: HashMap::with_capacity(capacity),
+            slots: vec![FREE; capacity].into_boxed_slice(),
+            live: 0,
             merges: 0,
             full_stalls: 0,
         }
     }
 
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.valid && s.line == line)
+    }
+
     /// Drops entries whose fills have completed by `now`.
     pub fn expire(&mut self, now: u64) {
-        self.entries.retain(|_, e| e.complete_at > now);
+        for s in self.slots.iter_mut() {
+            if s.valid && s.complete_at <= now {
+                s.valid = false;
+                self.live -= 1;
+            }
+        }
     }
 
     /// Looks up `line`; merges with an in-flight request or reserves a new
     /// entry. After an `Allocated` outcome the caller must follow up with
     /// [`MshrFile::fill_scheduled`] to record the completion time.
     pub fn request(&mut self, line: u64, now: u64) -> MshrOutcome {
-        if let Some(e) = self.entries.get(&line) {
+        if let Some(i) = self.find(line) {
+            let s = self.slots[i];
             self.merges += 1;
             return MshrOutcome::Merged {
-                complete_at: e.complete_at,
-                was_prefetch: e.is_prefetch,
-                pc_hash: e.pc_hash,
+                complete_at: s.complete_at,
+                was_prefetch: s.is_prefetch,
+                pc_hash: s.pc_hash,
             };
         }
-        let start_at = if self.entries.len() >= self.capacity {
+        let start_at = if self.live >= self.slots.len() {
             self.full_stalls += 1;
-            self.entries
-                .values()
-                .map(|e| e.complete_at)
+            self.slots
+                .iter()
+                .filter(|s| s.valid)
+                .map(|s| s.complete_at)
                 .min()
                 .unwrap_or(now)
                 .max(now)
@@ -103,65 +135,79 @@ impl MshrFile {
 
     /// Records that the miss for `line` will fill at `complete_at`.
     ///
-    /// If the file is full, the entry displacing slot is the one that
-    /// completes earliest (it is guaranteed to have drained by `start_at`).
+    /// If the file is full, the displaced entry is the one that completes
+    /// earliest (it is guaranteed to have drained by `start_at`), with the
+    /// line address as the deterministic tie-break.
     pub fn fill_scheduled(&mut self, line: u64, complete_at: u64, is_prefetch: bool, pc_hash: u16) {
-        if self.entries.len() >= self.capacity {
-            // tie-break on the line address: HashMap iteration order is
-            // seeded per process, and a seed-dependent victim makes whole
-            // simulations irreproducible run to run
-            if let Some((&victim, _)) = self
-                .entries
+        if self.live >= self.slots.len() {
+            let victim = self
+                .slots
                 .iter()
-                .min_by_key(|(&line, e)| (e.complete_at, line))
-            {
-                self.entries.remove(&victim);
+                .enumerate()
+                .filter(|(_, s)| s.valid)
+                .min_by_key(|(_, s)| (s.complete_at, s.line))
+                .map(|(i, _)| i)
+                .expect("full file has a victim");
+            self.slots[victim].valid = false;
+            self.live -= 1;
+        }
+        let entry = Slot {
+            line,
+            complete_at,
+            pc_hash,
+            is_prefetch,
+            valid: true,
+        };
+        match self.find(line) {
+            Some(i) => self.slots[i] = entry,
+            None => {
+                let i = self
+                    .slots
+                    .iter()
+                    .position(|s| !s.valid)
+                    .expect("eviction freed a slot");
+                self.slots[i] = entry;
+                self.live += 1;
             }
         }
-        self.entries.insert(
-            line,
-            Entry {
-                complete_at,
-                is_prefetch,
-                pc_hash,
-            },
-        );
     }
 
     /// Marks the in-flight request for `line` as demanded (no longer purely
     /// a prefetch), so later merges see it as demand traffic.
     pub fn promote_to_demand(&mut self, line: u64) {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.is_prefetch = false;
+        if let Some(i) = self.find(line) {
+            self.slots[i].is_prefetch = false;
         }
     }
 
     /// Whether a request for `line` is currently outstanding.
     pub fn contains(&self, line: u64) -> bool {
-        self.entries.contains_key(&line)
+        self.find(line).is_some()
     }
 
     /// The outstanding entry for `line`, if any:
     /// `(complete_at, is_prefetch, pc_hash)`.
     pub fn lookup(&self, line: u64) -> Option<(u64, bool, u16)> {
-        self.entries
-            .get(&line)
-            .map(|e| (e.complete_at, e.is_prefetch, e.pc_hash))
+        self.find(line)
+            .map(|i| {
+                let s = self.slots[i];
+                (s.complete_at, s.is_prefetch, s.pc_hash)
+            })
     }
 
     /// Free entries remaining.
     pub fn free(&self) -> usize {
-        self.capacity.saturating_sub(self.entries.len())
+        self.slots.len() - self.live
     }
 
     /// Outstanding entry count.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the file is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// `(merges, full_stalls)` counters.
@@ -247,6 +293,32 @@ mod tests {
         m.fill_scheduled(0x40, 200, false, 0);
         assert_eq!(m.len(), 1);
         assert!(m.contains(0x40));
+    }
+
+    #[test]
+    fn overfull_insert_ties_break_on_line_address() {
+        // two entries with the same completion time: the lower line
+        // address is displaced, whatever order the slots were filled in
+        let mut m = MshrFile::new(2);
+        m.fill_scheduled(0x80, 100, false, 0);
+        m.fill_scheduled(0x40, 100, false, 0);
+        m.fill_scheduled(0xc0, 200, false, 0);
+        assert!(!m.contains(0x40));
+        assert!(m.contains(0x80));
+        assert!(m.contains(0xc0));
+    }
+
+    #[test]
+    fn slots_are_reused_after_expiry() {
+        let mut m = MshrFile::new(2);
+        for round in 0..100u64 {
+            let t = round * 10;
+            m.fill_scheduled(round * 0x40, t + 5, false, 0);
+            assert!(m.len() <= 2);
+            m.expire(t + 9);
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.free(), 2);
     }
 
     #[test]

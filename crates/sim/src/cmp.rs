@@ -168,9 +168,7 @@ fn run_multi_impl(
         for c in cores.iter_mut() {
             c.cycle(now, &mut mem);
         }
-        for fb in mem.take_feedback() {
-            cores[fb.core].feedback(fb.pc_hash, fb.useful);
-        }
+        mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
         now += 1;
         if cores
             .iter()
@@ -214,9 +212,7 @@ fn run_multi_impl(
         for c in cores.iter_mut() {
             c.cycle(now, &mut mem);
         }
-        for fb in mem.take_feedback() {
-            cores[fb.core].feedback(fb.pc_hash, fb.useful);
-        }
+        mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
         now += 1;
         for (i, c) in cores.iter().enumerate() {
             if finished[i].is_some() {

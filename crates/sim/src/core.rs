@@ -65,6 +65,42 @@ struct InFlight {
     forwarded: bool,
 }
 
+/// The configuration fields the per-cycle loop consults, copied out of
+/// [`SimConfig`] at construction: the core carries this small `Copy`
+/// block instead of cloning the whole config for a handful of scalars.
+#[derive(Debug, Clone, Copy)]
+struct CoreParams {
+    mul_latency: u64,
+    commit_width: usize,
+    arf_at_retire: bool,
+    mispredict_penalty: u64,
+    fetch_width: usize,
+    rob_entries: usize,
+    l1i_latency: u64,
+    l1d_latency: u64,
+    btb_miss_penalty: u64,
+    store_forwarding: bool,
+    prefetch_issue_per_cycle: usize,
+}
+
+impl CoreParams {
+    fn of(cfg: &SimConfig) -> Self {
+        Self {
+            mul_latency: cfg.mul_latency,
+            commit_width: cfg.commit_width,
+            arf_at_retire: cfg.bfetch.arf_at_retire,
+            mispredict_penalty: cfg.mispredict_penalty,
+            fetch_width: cfg.fetch_width,
+            rob_entries: cfg.rob_entries,
+            l1i_latency: cfg.l1i.latency,
+            l1d_latency: cfg.l1d.latency,
+            btb_miss_penalty: cfg.btb_miss_penalty,
+            store_forwarding: cfg.store_forwarding,
+            prefetch_issue_per_cycle: cfg.prefetch_issue_per_cycle,
+        }
+    }
+}
+
 /// Per-core counters sampled by the run harness.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CoreCounters {
@@ -90,7 +126,7 @@ pub struct Core {
     id: usize,
     program: Program,
     arch: ArchState,
-    cfg: SimConfig,
+    params: CoreParams,
     // prediction
     bp: Box<dyn DirectionPredictor>,
     ghr: HistoryRegister,
@@ -100,6 +136,7 @@ pub struct Core {
     engine: Option<BFetchEngine>,
     demand_pf: Option<Box<dyn Prefetcher>>,
     pf_queue: VecDeque<PrefetchRequest>,
+    pf_scratch: Vec<PrefetchRequest>, // reusable per-access request buffer
     perfect: bool,
     // pipeline
     rob: VecDeque<InFlight>,
@@ -161,6 +198,7 @@ impl Core {
             engine,
             demand_pf,
             pf_queue: VecDeque::new(),
+            pf_scratch: Vec::new(),
             perfect,
             rob: VecDeque::with_capacity(cfg.rob_entries),
             rob_base: 0,
@@ -174,7 +212,7 @@ impl Core {
             writers: [None; 32],
             counters: CoreCounters::default(),
             tracer: Tracer::disabled(),
-            cfg: cfg.clone(),
+            params: CoreParams::of(cfg),
         }
     }
 
@@ -251,7 +289,7 @@ impl Core {
     // ---- scheduling ------------------------------------------------------
 
     fn try_schedule(&mut self, seq: u64, _now: u64) {
-        let cfg_mul = self.cfg.mul_latency;
+        let cfg_mul = self.params.mul_latency;
         let Some(e) = self.entry(seq) else { return };
         if e.scheduled || e.unresolved > 0 {
             return;
@@ -287,43 +325,31 @@ impl Core {
         self.on_scheduled(seq);
     }
 
-    /// Propagates a newly known completion time to dependents (iteratively,
-    /// to avoid unbounded recursion on long chains).
+    /// Propagates a newly known completion time to dependents. Recursion
+    /// happens through [`Core::try_schedule`], whose depth is bounded by
+    /// the dependence chains inside the ROB window; each waiter list is
+    /// taken exactly once, so no work queue (or its allocation) is needed.
     fn on_scheduled(&mut self, seq: u64) {
-        let mut stack = vec![seq];
-        while let Some(s) = stack.pop() {
-            let (complete, waiters) = {
-                let Some(e) = self.entry(s) else { continue };
-                debug_assert!(e.scheduled);
-                // post the register value toward the B-Fetch ARF
-                (e.complete_at, std::mem::take(&mut e.waiters))
-            };
-            {
-                let (dest, val) = {
-                    let e = self.entry(s).expect("entry exists");
-                    (e.dest, e.dest_val)
-                };
-                if !self.cfg.bfetch.arf_at_retire {
-                    if let (Some(d), Some(engine)) = (dest, self.engine.as_mut()) {
-                        engine.post_regwrite(d as usize, val, s, complete);
-                    }
-                }
+        let (complete, waiters, dest, val) = {
+            let Some(e) = self.entry(seq) else { return };
+            debug_assert!(e.scheduled);
+            (e.complete_at, std::mem::take(&mut e.waiters), e.dest, e.dest_val)
+        };
+        // post the register value toward the B-Fetch ARF
+        if !self.params.arf_at_retire {
+            if let (Some(d), Some(engine)) = (dest, self.engine.as_mut()) {
+                engine.post_regwrite(d as usize, val, seq, complete);
             }
-            for w in waiters {
-                let mut now_ready = false;
-                if let Some(we) = self.entry(w) {
-                    we.ready_at = we.ready_at.max(complete);
-                    we.unresolved -= 1;
-                    now_ready = we.unresolved == 0;
-                }
-                if now_ready {
-                    self.try_schedule(w, complete);
-                    if let Some(we) = self.entry(w) {
-                        if we.scheduled {
-                            stack.push(w);
-                        }
-                    }
-                }
+        }
+        for w in waiters {
+            let mut now_ready = false;
+            if let Some(we) = self.entry(w) {
+                we.ready_at = we.ready_at.max(complete);
+                we.unresolved -= 1;
+                now_ready = we.unresolved == 0;
+            }
+            if now_ready {
+                self.try_schedule(w, complete);
             }
         }
     }
@@ -340,7 +366,7 @@ impl Core {
                 let complete = if forwarded {
                     now + 1
                 } else if self.perfect {
-                    now + self.cfg.l1d.latency
+                    now + self.params.l1d_latency
                 } else {
                     let out = mem.access(self.id, AccessKind::Load, ea, now);
                     self.observe_access(pc, ea, out.level == HitLevel::L1, true);
@@ -365,9 +391,10 @@ impl Core {
                 hit,
                 is_load,
             };
-            let mut reqs = Vec::new();
-            pf.on_access(&ev, &mut reqs);
-            for r in reqs {
+            self.pf_scratch.clear();
+            pf.on_access(&ev, &mut self.pf_scratch);
+            for i in 0..self.pf_scratch.len() {
+                let r = self.pf_scratch[i];
                 if self.pf_queue.len() >= 100 {
                     self.counters.pf_queue_overflow += 1;
                 } else {
@@ -380,7 +407,7 @@ impl Core {
     // ---- commit ----------------------------------------------------------
 
     fn commit(&mut self, now: u64) {
-        for _ in 0..self.cfg.commit_width {
+        for _ in 0..self.params.commit_width {
             let Some(front) = self.rob.front() else { break };
             if !front.scheduled || front.complete_at > now {
                 break;
@@ -388,7 +415,7 @@ impl Core {
             let fi = self.rob.pop_front().expect("front exists");
             self.rob_base += 1;
             self.counters.committed += 1;
-            if self.cfg.bfetch.arf_at_retire {
+            if self.params.arf_at_retire {
                 if let (Some(d), Some(engine)) = (fi.dest, self.engine.as_mut()) {
                     engine.post_regwrite(d as usize, fi.dest_val, fi.seq, now);
                 }
@@ -436,7 +463,7 @@ impl Core {
 
     fn check_fetch_block(&mut self, _now: u64) {
         if let Some(bseq) = self.fetch_blocked_by {
-            let penalty = self.cfg.mispredict_penalty;
+            let penalty = self.params.mispredict_penalty;
             let resolved = match self.entry(bseq) {
                 Some(e) if e.scheduled => Some(e.complete_at),
                 None => Some(0), // already retired: resolved long ago
@@ -454,9 +481,9 @@ impl Core {
             return;
         }
         let mut branches_this_cycle = 0usize;
-        let l1i_lat = self.cfg.l1i.latency;
-        for _ in 0..self.cfg.fetch_width {
-            if self.rob.len() >= self.cfg.rob_entries {
+        let l1i_lat = self.params.l1i_latency;
+        for _ in 0..self.params.fetch_width {
+            if self.rob.len() >= self.params.rob_entries {
                 break;
             }
             if self.arch.halted() {
@@ -531,7 +558,7 @@ impl Core {
                 // decode-redirect penalty
                 if fi.pred_taken && self.btb.lookup(pc).is_none() {
                     self.fetch_stall_until =
-                        self.fetch_stall_until.max(now + self.cfg.btb_miss_penalty);
+                        self.fetch_stall_until.max(now + self.params.btb_miss_penalty);
                 }
                 fi.regs_snapshot = Some(Box::new(*self.arch.regs()));
                 let confidence = self.conf.estimate(pc, ghr_before, fi.pred_strength);
@@ -562,7 +589,7 @@ impl Core {
             // older in-flight store takes the data from the store queue
             // (1-cycle forward after the store executes) instead of the
             // cache
-            if self.cfg.store_forwarding && fi.is_load {
+            if self.params.store_forwarding && fi.is_load {
                 let word = fi.ea & !7;
                 let base = self.rob_base;
                 if let Some(pos) = self
@@ -639,7 +666,7 @@ impl Core {
     // ---- prefetch issue ----------------------------------------------------
 
     fn prefetch_tick(&mut self, now: u64, mem: &mut MemorySystem) {
-        let per_cycle = self.cfg.prefetch_issue_per_cycle;
+        let per_cycle = self.params.prefetch_issue_per_cycle;
         if let Some(engine) = self.engine.as_mut() {
             engine.tick(now, self.bp.as_ref(), &self.conf);
             for c in engine.pop_prefetches(per_cycle) {

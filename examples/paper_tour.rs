@@ -81,7 +81,7 @@ fn main() {
         confidence: c,
     });
     engine.tick(1_001, &bp, &conf);
-    let prefetches = engine.pop_prefetches(32);
+    let prefetches: Vec<_> = engine.pop_prefetches(32).collect();
     println!(
         "4. one lookahead walk produced {} prefetches:",
         prefetches.len()

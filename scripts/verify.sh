@@ -29,6 +29,9 @@ cargo test --workspace --doc -q
 echo "==> timing benches compile (criterion-benches feature)"
 cargo check -p bfetch-bench --benches --features criterion-benches -q
 
+echo "==> simulator throughput smoke (ext_simspeed --quick)"
+target/release/ext_simspeed --quick --label verify --out target/BENCH_simspeed.json
+
 echo "==> harness determinism: serial vs parallel vs cached stdout"
 BIN=target/release/fig08_single
 CACHE=$(mktemp -d)
