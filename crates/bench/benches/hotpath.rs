@@ -11,7 +11,7 @@
 //! cargo bench -p bfetch-bench --features criterion-benches --bench hotpath
 //! ```
 
-use bfetch_mem::{CacheConfig, MemorySystem, MshrFile, SetAssocCache};
+use bfetch_mem::{CacheConfig, HitLevel, MemorySystem, MshrFile, SetAssocCache};
 use bfetch_sim::{Core, PrefetcherKind, SimConfig};
 use bfetch_workloads::{kernel_by_name, Scale};
 use std::hint::black_box;
@@ -41,7 +41,7 @@ fn main() {
     // worst case for the linear probe, and the common case mid-run.
     let mut mshr = MshrFile::new(4);
     for i in 0..4u64 {
-        mshr.fill_scheduled(i * 64, u64::MAX, false, 0);
+        mshr.fill_scheduled(i * 64, u64::MAX, false, 0, HitLevel::Dram);
     }
     let mut i = 0u64;
     bench("mshr_lookup_hit", || {
@@ -61,7 +61,7 @@ fn main() {
         now += 4;
         let line = (now % 4096) * 64;
         let _ = pf.request(line, now);
-        pf.fill_scheduled(line, now + 200, true, 7);
+        pf.fill_scheduled(line, now + 200, true, 7, HitLevel::L3);
         pf.expire(now.saturating_sub(220));
         pf.len()
     });

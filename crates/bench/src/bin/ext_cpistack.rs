@@ -1,0 +1,274 @@
+//! Extension: top-down CPI-stack breakdown per kernel for none vs. stride
+//! vs. B-Fetch — where each configuration's cycles went, and which
+//! component each prefetcher shrank (DESIGN.md "Cycle accounting &
+//! timeline" documents the charging rules and the export schemas).
+//!
+//! Every run's stack is checked against the one-cause-per-slot invariant
+//! (`committed_slots + Σ lost == width × cycles`) before anything is
+//! printed; a violation is a simulator bug and aborts the report.
+//!
+//! With `--timeline PATH` the interval time series of every run is also
+//! exported: a `.csv` path selects CSV (one row per sample, prefixed with
+//! kernel and prefetcher columns), anything else JSONL (one `run_begin`
+//! delimiter object per run followed by its samples).
+//!
+//! Flags beyond the common set:
+//!
+//! ```text
+//! --quick        reduced instruction budget (CI smoke run)
+//! ```
+
+use bfetch_bench::harness::executor::run_indexed;
+use bfetch_bench::{rows_to_json, usage, Opts};
+use bfetch_sim::{run_single_cpi, CpiComponent, CpiStack, PrefetcherKind, TimelineSample};
+use bfetch_stats::Table;
+use bfetch_workloads::Kernel;
+use std::io::Write;
+
+const PREFETCHERS: [PrefetcherKind; 3] = [
+    PrefetcherKind::None,
+    PrefetcherKind::Stride,
+    PrefetcherKind::BFetch,
+];
+
+/// One finished grid point: its stack plus the interval samples.
+struct Point {
+    kernel: &'static str,
+    prefetcher: &'static str,
+    stack: CpiStack,
+    timeline: Vec<TimelineSample>,
+}
+
+/// Display groups for the table and the shrink report: the three memory
+/// levels fold their prefetch-covered halves in, and the covered total
+/// gets its own summary column.
+const GROUPS: [(&str, &[CpiComponent]); 9] = [
+    ("base", &[CpiComponent::Base]),
+    ("mispred", &[CpiComponent::Mispredict]),
+    ("fetch", &[CpiComponent::FetchStall]),
+    ("rob", &[CpiComponent::RobFull]),
+    ("lsq", &[CpiComponent::LsqFull]),
+    ("mshr", &[CpiComponent::MshrFull]),
+    ("L2", &[CpiComponent::MemL2, CpiComponent::MemL2Covered]),
+    ("L3", &[CpiComponent::MemL3, CpiComponent::MemL3Covered]),
+    (
+        "dram",
+        &[CpiComponent::MemDram, CpiComponent::MemDramCovered],
+    ),
+];
+
+fn group_cpi(stack: &CpiStack, members: &[CpiComponent]) -> f64 {
+    members.iter().map(|&c| stack.component_cpi(c)).sum()
+}
+
+fn covered_cpi(stack: &CpiStack) -> f64 {
+    CpiComponent::ALL
+        .iter()
+        .filter(|c| c.is_covered())
+        .map(|&c| stack.component_cpi(c))
+        .sum()
+}
+
+fn main() {
+    // Split our own flags out before handing the rest to the common parser.
+    let mut quick = false;
+    let mut rest: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "top-down CPI-stack breakdown (none vs. stride vs. bfetch)\n\
+                     \x20 --quick                  reduced instruction budget (CI smoke run)\n\
+                     {}",
+                    usage()
+                );
+                return;
+            }
+            _ => rest.push(a),
+        }
+    }
+    let mut opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    // --quick shrinks the budget unless the user pinned one explicitly.
+    let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");
+    let explicit_warmup = std::env::args().any(|a| a == "--warmup");
+    if quick {
+        if !explicit_insts {
+            opts.instructions = 30_000;
+        }
+        if !explicit_warmup {
+            opts.warmup = 15_000;
+        }
+    }
+    let kernels = opts.selected_kernels();
+
+    // CPI runs carry a timeline, so they never go through the result
+    // cache; the work-stealing executor keeps the grid parallel while the
+    // output stays in (kernel, prefetcher) order.
+    let grid: Vec<(&'static Kernel, PrefetcherKind)> = kernels
+        .iter()
+        .flat_map(|&k| PREFETCHERS.iter().map(move |&p| (k, p)))
+        .collect();
+    let points: Vec<Point> = run_indexed(&grid, opts.threads, |_, &(k, p)| {
+        let program = k.build(opts.scale);
+        let run = run_single_cpi(&program, &opts.config(p), opts.instructions);
+        let r = &run.results[0];
+        let stack = r.cpi.expect("CPI run must carry a stack");
+        // the acceptance invariant, checked on every grid point
+        if !stack.holds_invariant()
+            || stack.cycles != r.cycles
+            || stack.committed_slots != r.instructions
+        {
+            eprintln!(
+                "error: CPI invariant violated for {}/{}: {stack:?} vs {} cycles, {} insts",
+                k.name,
+                p.name(),
+                r.cycles,
+                r.instructions
+            );
+            std::process::exit(1);
+        }
+        Point {
+            kernel: k.name,
+            prefetcher: p.name(),
+            stack,
+            timeline: run.timeline,
+        }
+    });
+
+    if let Some(path) = &opts.timeline {
+        if let Err(e) = export_timeline(path, &points) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if opts.json {
+        let headers: Vec<&str> = std::iter::once("cpi")
+            .chain(std::iter::once("commit"))
+            .chain(CpiComponent::ALL.iter().map(|c| c.as_str()))
+            .collect();
+        let rows: Vec<(String, Vec<f64>)> = points
+            .iter()
+            .map(|pt| {
+                let vals = std::iter::once(pt.stack.cpi())
+                    .chain(std::iter::once(pt.stack.commit_cpi()))
+                    .chain(CpiComponent::ALL.iter().map(|&c| pt.stack.component_cpi(c)))
+                    .collect();
+                (format!("{}/{}", pt.kernel, pt.prefetcher), vals)
+            })
+            .collect();
+        println!("{}", rows_to_json(&headers, &rows));
+        return;
+    }
+
+    // -- stacked breakdown table -------------------------------------------
+    let mut t = Table::new(
+        ["benchmark", "pf", "CPI", "commit"]
+            .into_iter()
+            .map(String::from)
+            .chain(GROUPS.iter().map(|(name, _)| name.to_string()))
+            .chain(std::iter::once("pf-cov".to_string()))
+            .collect(),
+    );
+    for pt in &points {
+        t.row(
+            vec![
+                pt.kernel.to_string(),
+                pt.prefetcher.to_string(),
+                format!("{:.3}", pt.stack.cpi()),
+                format!("{:.3}", pt.stack.commit_cpi()),
+            ]
+            .into_iter()
+            .chain(
+                GROUPS
+                    .iter()
+                    .map(|(_, members)| format!("{:.3}", group_cpi(&pt.stack, members))),
+            )
+            .chain(std::iter::once(format!("{:.3}", covered_cpi(&pt.stack))))
+            .collect(),
+        );
+    }
+    println!(
+        "== Extension: top-down CPI stack ({} kernels x {} prefetchers{}) ==",
+        kernels.len(),
+        PREFETCHERS.len(),
+        if quick { ", --quick" } else { "" }
+    );
+    print!("{t}");
+    println!();
+    println!("every row satisfies committed + lost == width x cycles (checked);");
+    println!("L2/L3/dram fold in their prefetch-covered halves; pf-cov = covered total");
+
+    // -- which component did each prefetcher shrink? -----------------------
+    println!();
+    println!("component shrink vs. no prefetching:");
+    for k in &kernels {
+        let base = points
+            .iter()
+            .find(|p| p.kernel == k.name && p.prefetcher == "baseline")
+            .expect("grid covers every (kernel, prefetcher) pair");
+        for pf in ["stride", "bfetch"] {
+            let pt = points
+                .iter()
+                .find(|p| p.kernel == k.name && p.prefetcher == pf)
+                .expect("grid covers every (kernel, prefetcher) pair");
+            let d_cpi = pt.stack.cpi() - base.stack.cpi();
+            let (biggest, d_big) = GROUPS
+                .iter()
+                .map(|(name, members)| {
+                    (*name, group_cpi(&pt.stack, members) - group_cpi(&base.stack, members))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("GROUPS is nonempty");
+            let d_mispred = pt.stack.component_cpi(CpiComponent::Mispredict)
+                - base.stack.component_cpi(CpiComponent::Mispredict);
+            println!(
+                "  {:<10} {pf:<7} dCPI {d_cpi:+.3}; largest shrink {biggest} ({d_big:+.3}); \
+                 mispredict {d_mispred:+.3}",
+                k.name
+            );
+        }
+    }
+    if opts.timeline.is_none() {
+        println!();
+        println!("(re-run with --timeline PATH to export the interval time series)");
+    }
+}
+
+/// Exports every run's interval samples; `.csv` selects CSV with
+/// kernel/prefetcher prefix columns, anything else the JSONL stream.
+fn export_timeline(path: &std::path::Path, points: &[Point]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    let csv = path.extension().is_some_and(|e| e == "csv");
+    if csv {
+        writeln!(out, "kernel,prefetcher,{}", TimelineSample::csv_header())?;
+        for pt in points {
+            for s in &pt.timeline {
+                writeln!(out, "{},{},{}", pt.kernel, pt.prefetcher, s.csv_row())?;
+            }
+        }
+    } else {
+        for pt in points {
+            writeln!(
+                out,
+                "{{\"event\":\"run_begin\",\"kernel\":\"{}\",\"prefetcher\":\"{}\",\"samples\":{}}}",
+                pt.kernel,
+                pt.prefetcher,
+                pt.timeline.len()
+            )?;
+            for s in &pt.timeline {
+                writeln!(out, "{}", s.to_json_line())?;
+            }
+        }
+    }
+    out.flush()
+}

@@ -53,7 +53,7 @@ fn main() {
                 vec![
                     r.ipc(),
                     r.ipc() / base,
-                    r.mem.l1i_misses as f64 * 1000.0 / r.instructions as f64,
+                    r.l1i_mpki(),
                 ],
             )
         })

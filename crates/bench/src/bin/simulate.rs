@@ -164,10 +164,7 @@ fn main() {
             r.workload.clone(),
             format!("{:.3}", r.ipc()),
             format!("{:.2}%", 100.0 * r.bp_miss_rate()),
-            format!(
-                "{:.1}",
-                r.mem.l1d_misses as f64 * 1000.0 / r.instructions as f64
-            ),
+            format!("{:.1}", r.mpki()),
             r.mem.prefetch_useful.to_string(),
             r.mem.prefetch_useless.to_string(),
             format!("{:.2}", e.nj_per_inst(r.instructions)),

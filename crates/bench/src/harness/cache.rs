@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bumped whenever the key derivation or the stored JSON layout changes;
 /// old entries then simply miss.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a, the filename hash's first half.
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -162,6 +162,7 @@ mod tests {
             branch_fetch_hist: [5, 4, 3, 2, 1],
             engine: None,
             pf_metadata_bytes: 0,
+            cpi: None,
         }
     }
 
@@ -210,7 +211,7 @@ mod tests {
         let path = cache.dir().join(file_name("k"));
         let text = std::fs::read_to_string(&path)
             .unwrap()
-            .replace("\"schema\":1", "\"schema\":999");
+            .replace(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":999");
         std::fs::write(&path, text).unwrap();
         assert!(cache.load("k").is_none());
         let _ = std::fs::remove_dir_all(cache.dir());

@@ -6,7 +6,7 @@
 
 use bfetch_core::EngineStats;
 use bfetch_mem::MemStats;
-use bfetch_sim::RunResult;
+use bfetch_sim::{CpiComponent, CpiStack, RunResult};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -356,6 +356,35 @@ fn engine_from_json(j: &Json) -> Option<EngineStats> {
     })
 }
 
+fn cpi_to_json(s: &CpiStack) -> Json {
+    Json::Obj(vec![
+        ("width".into(), Json::u64_of(s.width)),
+        ("cycles".into(), Json::u64_of(s.cycles)),
+        ("committed_slots".into(), Json::u64_of(s.committed_slots)),
+        (
+            "lost".into(),
+            Json::Arr(s.lost.iter().map(|&v| Json::u64_of(v)).collect()),
+        ),
+    ])
+}
+
+fn cpi_from_json(j: &Json) -> Option<CpiStack> {
+    let lost_json = match j.get("lost")? {
+        Json::Arr(items) if items.len() == CpiComponent::COUNT => items,
+        _ => return None,
+    };
+    let mut lost = [0u64; CpiComponent::COUNT];
+    for (slot, v) in lost.iter_mut().zip(lost_json.iter()) {
+        *slot = v.as_u64()?;
+    }
+    Some(CpiStack {
+        width: j.get("width")?.as_u64()?,
+        cycles: j.get("cycles")?.as_u64()?,
+        committed_slots: j.get("committed_slots")?.as_u64()?,
+        lost,
+    })
+}
+
 /// Serializes one [`RunResult`].
 pub fn result_to_json(r: &RunResult) -> Json {
     Json::Obj(vec![
@@ -378,6 +407,13 @@ pub fn result_to_json(r: &RunResult) -> Json {
             },
         ),
         ("pf_metadata_bytes".into(), Json::u64_of(r.pf_metadata_bytes)),
+        (
+            "cpi".into(),
+            match &r.cpi {
+                Some(s) => cpi_to_json(s),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -395,6 +431,12 @@ pub fn result_from_json(j: &Json) -> Option<RunResult> {
         Json::Null => None,
         e => Some(engine_from_json(e)?),
     };
+    // Missing key tolerated for cache files written before CPI accounting
+    // existed (the schema bump makes those unreachable, but stay lenient).
+    let cpi = match j.get("cpi") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(cpi_from_json(c)?),
+    };
     Some(RunResult {
         workload: j.get("workload")?.as_str()?.to_string(),
         prefetcher: intern_prefetcher(j.get("prefetcher")?.as_str()?),
@@ -406,6 +448,7 @@ pub fn result_from_json(j: &Json) -> Option<RunResult> {
         branch_fetch_hist,
         engine,
         pf_metadata_bytes: j.get("pf_metadata_bytes")?.as_u64()?,
+        cpi,
     })
 }
 
@@ -453,6 +496,12 @@ mod tests {
                 dbr_dropped: 9,
             }),
             pf_metadata_bytes: u64::MAX,
+            cpi: Some(CpiStack {
+                width: 4,
+                cycles: 100,
+                committed_slots: 250,
+                lost: [10, 20, 15, 5, 5, 5, 30, 10, 20, 10, 15, 5],
+            }),
         }
     }
 
@@ -481,6 +530,26 @@ mod tests {
         let back =
             result_from_json(&Json::parse(&result_to_json(&r).to_string()).unwrap()).unwrap();
         assert_eq!(back.engine, None);
+    }
+
+    #[test]
+    fn cpi_none_round_trips() {
+        let mut r = sample_result();
+        r.cpi = None;
+        let back =
+            result_from_json(&Json::parse(&result_to_json(&r).to_string()).unwrap()).unwrap();
+        assert_eq!(back.cpi, None);
+    }
+
+    #[test]
+    fn missing_cpi_key_parses_as_none() {
+        // cache files written before CPI accounting existed lack the key
+        let mut j = result_to_json(&sample_result());
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "cpi");
+        }
+        let back = result_from_json(&j).unwrap();
+        assert_eq!(back.cpi, None);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct Opts {
     /// Write a JSONL lifecycle trace here (binaries that support tracing;
     /// see DESIGN.md's Observability chapter for the schema).
     pub trace: Option<PathBuf>,
+    /// Write an interval timeline here (binaries with CPI accounting;
+    /// `.csv` selects CSV, anything else JSONL — see DESIGN.md §10).
+    pub timeline: Option<PathBuf>,
 }
 
 /// A malformed command line.
@@ -75,6 +78,7 @@ impl Default for Opts {
             cache_dir: None,
             kernels: None,
             trace: None,
+            timeline: None,
         }
     }
 }
@@ -97,6 +101,7 @@ pub fn usage() -> String {
          \x20 --no-cache               bypass the on-disk result cache\n\
          \x20 --cache-dir PATH         result cache location (default results/cache)\n\
          \x20 --trace PATH             write a JSONL lifecycle trace (tracing binaries)\n\
+         \x20 --timeline PATH          write an interval timeline, JSONL or .csv (CPI binaries)\n\
          \x20 --help, -h               this message\n\
          kernels: {}",
         names.join(", ")
@@ -150,6 +155,7 @@ impl Opts {
                 "--no-cache" => o.no_cache = true,
                 "--cache-dir" => o.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
                 "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
+                "--timeline" => o.timeline = Some(PathBuf::from(value("--timeline")?)),
                 "--help" | "-h" => return Err(OptsError::HelpRequested),
                 other => return Err(OptsError::UnknownFlag(other.to_string())),
             }
@@ -214,6 +220,7 @@ mod tests {
         assert!(!o.json && !o.no_cache);
         assert!(o.kernels.is_none());
         assert!(o.trace.is_none());
+        assert!(o.timeline.is_none());
     }
 
     #[test]
@@ -234,6 +241,8 @@ mod tests {
             "/tmp/c",
             "--trace",
             "/tmp/t.jsonl",
+            "--timeline",
+            "/tmp/tl.csv",
         ])
         .unwrap();
         assert_eq!(o.instructions, 5000);
@@ -244,6 +253,7 @@ mod tests {
         assert!(o.json && o.no_cache);
         assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
         assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("/tmp/t.jsonl")));
+        assert_eq!(o.timeline.as_deref(), Some(std::path::Path::new("/tmp/tl.csv")));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!
 //! then review the fixture diff like any other behavioural change.
 
-use bfetch_sim::{run_single, run_single_traced, PrefetcherKind, SimConfig};
+use bfetch_sim::{run_single, run_single_cpi, run_single_traced, PrefetcherKind, SimConfig};
 use bfetch_stats::StatsRegistry;
 use bfetch_workloads::{kernel_by_name, Scale};
 use std::path::PathBuf;
@@ -82,6 +82,85 @@ fn registry_counters_match_committed_fixtures() {
         "golden fixtures diverged (intentional model changes need BFETCH_BLESS=1 + fixture review):\n{}",
         failures.join("\n")
     );
+}
+
+/// CPI accounting pinned the same way: the accounted registry (which
+/// additionally carries the `cpi.*` keys) is snapshot for one pointer-chase
+/// and one streaming scenario. `BFETCH_BLESS=1` regenerates these too.
+#[test]
+fn cpi_registry_counters_match_committed_fixtures() {
+    let bless = std::env::var_os("BFETCH_BLESS").is_some();
+    let mut failures = Vec::new();
+    for (kernel, kind, stem) in [
+        ("mcf", PrefetcherKind::None, "mcf_none_cpi"),
+        ("mcf", PrefetcherKind::BFetch, "mcf_bfetch_cpi"),
+    ] {
+        let k = kernel_by_name(kernel).expect("kernel registered");
+        let cfg = SimConfig::baseline()
+            .with_prefetcher(kind)
+            .with_warmup(WARMUP);
+        let run = run_single_cpi(&k.build(Scale::Small), &cfg, INSTRUCTIONS);
+        let got = render(&run.results[0].registry());
+        let path = fixture_path(stem);
+        if bless {
+            std::fs::write(&path, &got).expect("write fixture");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with BFETCH_BLESS=1 to create it", path.display()));
+        if got != want {
+            let diff: Vec<String> = diff_lines(&want, &got);
+            failures.push(format!("{stem}:\n{}", diff.join("\n")));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "CPI golden fixtures diverged (intentional model changes need BFETCH_BLESS=1 + fixture review):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Accounting must be an observer twice over: an accounted run's registry
+/// minus the `cpi.*` keys equals the plain fixture byte-for-byte, and the
+/// stack satisfies the one-cause-per-slot invariant on every scenario.
+#[test]
+fn cpi_run_matches_plain_fixture_and_holds_invariant() {
+    if std::env::var_os("BFETCH_BLESS").is_some() {
+        return; // the fixture-owning tests regenerate; here we only compare
+    }
+    for (kernel, kind, stem) in SCENARIOS {
+        let k = kernel_by_name(kernel).expect("kernel registered");
+        let cfg = SimConfig::baseline()
+            .with_prefetcher(kind)
+            .with_warmup(WARMUP);
+        let run = run_single_cpi(&k.build(Scale::Small), &cfg, INSTRUCTIONS);
+        let r = &run.results[0];
+
+        let stack = r.cpi.expect("CPI run carries a stack");
+        assert!(stack.holds_invariant(), "slot invariant violated for {stem}");
+        assert_eq!(stack.cycles, r.cycles, "stack window != run window ({stem})");
+        assert_eq!(
+            stack.committed_slots, r.instructions,
+            "committed slots != instructions ({stem})"
+        );
+
+        let mut reg = r.registry();
+        let cpi_keys: Vec<String> = reg
+            .iter()
+            .map(|(name, _)| name.to_string())
+            .filter(|name| name.starts_with("cpi."))
+            .collect();
+        assert!(!cpi_keys.is_empty(), "accounted registry lacks cpi.* keys");
+        for key in cpi_keys {
+            reg.remove(&key);
+        }
+        let want = std::fs::read_to_string(fixture_path(stem)).expect("fixture exists");
+        assert_eq!(
+            render(&reg),
+            want,
+            "CPI accounting changed simulation outcomes for {stem}"
+        );
+    }
 }
 
 /// Tracing must be an observer: a traced run's registry equals the

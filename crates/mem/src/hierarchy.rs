@@ -62,6 +62,18 @@ pub struct AccessOutcome {
     pub complete_at: u64,
     /// Level that serviced the access.
     pub level: HitLevel,
+    /// The level actually producing the data. Equal to `level` except for
+    /// [`HitLevel::InFlight`] merges, where it is the level servicing the
+    /// outstanding fill — the miss-level provenance the CPI-stack
+    /// accounting charges stall cycles to.
+    pub service: HitLevel,
+    /// The access merged with an in-flight *prefetch-originated* fill, so
+    /// part of the latency was already absorbed before the demand arrived.
+    pub pf_covered: bool,
+    /// When a full demand-MSHR file delayed the downstream issue, the
+    /// cycle the structural delay ends; `0` when the miss issued
+    /// immediately.
+    pub queued_until: u64,
 }
 
 impl AccessOutcome {
@@ -512,6 +524,9 @@ impl MemorySystem {
             return AccessOutcome {
                 complete_at: now + l1_latency,
                 level: HitLevel::L1,
+                service: HitLevel::L1,
+                pf_covered: false,
+                queued_until: 0,
             };
         }
         if is_inst {
@@ -521,7 +536,7 @@ impl MemorySystem {
         }
 
         // merge with an outstanding demand miss?
-        if let Some((complete_at, _, _)) = self.mshr[core].lookup(line) {
+        if let Some((complete_at, _, _, service)) = self.mshr[core].lookup(line) {
             self.stats[core].mshr_merges += 1;
             if !is_inst {
                 self.tracer.emit_for(
@@ -536,11 +551,15 @@ impl MemorySystem {
             return AccessOutcome {
                 complete_at: complete_at.max(now + l1_latency),
                 level: HitLevel::InFlight,
+                service,
+                pf_covered: false,
+                queued_until: 0,
             };
         }
         // merge with an in-flight prefetch? (a *late* prefetch — only the
         // first merging demand scores it; the entry is then promoted)
-        if let Some((complete_at, was_prefetch, pc_hash)) = self.pf_mshr[core].lookup(line) {
+        if let Some((complete_at, was_prefetch, pc_hash, service)) = self.pf_mshr[core].lookup(line)
+        {
             self.stats[core].mshr_merges += 1;
             if was_prefetch && !is_inst {
                 self.stats[core].prefetch_useful += 1;
@@ -580,6 +599,11 @@ impl MemorySystem {
             return AccessOutcome {
                 complete_at: complete_at.max(now + l1_latency),
                 level: HitLevel::InFlight,
+                service,
+                // the entire pf_mshr pool is prefetch-originated, so even a
+                // merge after promotion rides a fill a prefetch started
+                pf_covered: true,
+                queued_until: 0,
             };
         }
         match self.mshr[core].request(line, now) {
@@ -602,7 +626,7 @@ impl MemorySystem {
                         },
                     );
                 }
-                self.mshr[core].fill_scheduled(line, done, false, 0);
+                self.mshr[core].fill_scheduled(line, done, false, 0, level);
                 self.schedule_fill(PendingFill {
                     complete_at: done,
                     core,
@@ -621,6 +645,9 @@ impl MemorySystem {
                 AccessOutcome {
                     complete_at: done,
                     level,
+                    service: level,
+                    pf_covered: false,
+                    queued_until: if start_at > now { start_at } else { 0 },
                 }
             }
         }
@@ -715,9 +742,9 @@ impl MemorySystem {
             MshrOutcome::Allocated { start_at } => start_at,
             MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
         };
-        let (done, _level, fill_l2, fill_l3) =
+        let (done, level, fill_l2, fill_l3) =
             self.lower_levels(core, phys, start_at + self.cfg.l1d.latency, false);
-        self.pf_mshr[core].fill_scheduled(line, done, true, pc_hash & 0x3ff);
+        self.pf_mshr[core].fill_scheduled(line, done, true, pc_hash & 0x3ff, level);
         self.tracer.emit_for(
             core as u32,
             now,
@@ -768,9 +795,9 @@ impl MemorySystem {
             MshrOutcome::Allocated { start_at } => start_at,
             MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
         };
-        let (done, _level, fill_l2, fill_l3) =
+        let (done, level, fill_l2, fill_l3) =
             self.lower_levels(core, phys, start_at + self.cfg.l1i.latency, false);
-        self.pf_mshr[core].fill_scheduled(line, done, true, 0);
+        self.pf_mshr[core].fill_scheduled(line, done, true, 0, level);
         self.schedule_fill(PendingFill {
             complete_at: done,
             core,
@@ -1061,6 +1088,47 @@ mod tests {
             m.fill_data.len()
         );
         assert_eq!(m.fill_free.len(), m.fill_data.len(), "all slots free");
+    }
+
+    #[test]
+    fn outcomes_carry_miss_level_provenance() {
+        let mut m = sys(1);
+        // cold DRAM miss: service == level, issued immediately
+        let miss = m.access(0, AccessKind::Load, 0x10_0000, 0);
+        assert_eq!((miss.service, miss.pf_covered), (HitLevel::Dram, false));
+        assert_eq!(miss.queued_until, 0);
+        // demand merge inherits the primary miss's service level
+        let merged = m.access(0, AccessKind::Load, 0x10_0000, 10);
+        assert_eq!(merged.level, HitLevel::InFlight);
+        assert_eq!(merged.service, HitLevel::Dram);
+        assert!(!merged.pf_covered);
+        // a late-prefetch merge is marked covered with the fill's level
+        let fill = m.prefetch(0, 0x20_0000, 7, 20).expect("accepted");
+        let late = m.access(0, AccessKind::Load, 0x20_0000, 30);
+        assert!(late.pf_covered);
+        assert_eq!(late.service, HitLevel::Dram);
+        assert_eq!(late.complete_at, fill);
+        // L1 hits report L1 service
+        let hit = m.access(0, AccessKind::Load, 0x20_0000, fill + 1);
+        assert_eq!((hit.level, hit.service), (HitLevel::L1, HitLevel::L1));
+    }
+
+    #[test]
+    fn full_mshr_file_reports_queued_until() {
+        let mut m = sys(1);
+        let mut first_done = 0;
+        // the baseline file has 4 demand MSHRs: fill them with distinct lines
+        for i in 0..4u64 {
+            let out = m.access(0, AccessKind::Load, 0x10_0000 + i * 64 * 1024, 0);
+            if i == 0 {
+                first_done = out.complete_at;
+            }
+            assert_eq!(out.queued_until, 0, "file not yet full");
+        }
+        let stalled = m.access(0, AccessKind::Load, 0x80_0000, 1);
+        // the fifth concurrent miss waits for the earliest outstanding fill
+        assert_eq!(stalled.queued_until, first_done);
+        assert!(stalled.complete_at > stalled.queued_until);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Miss status holding registers.
 
+use crate::hierarchy::HitLevel;
+
 /// Result of consulting the MSHR file for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -13,6 +15,9 @@ pub enum MshrOutcome {
         was_prefetch: bool,
         /// Load-PC hash carried by the in-flight prefetch.
         pc_hash: u16,
+        /// Hierarchy level servicing the outstanding fill (miss-level
+        /// provenance for cycle accounting).
+        level: HitLevel,
     },
     /// A new entry was allocated; the miss may proceed starting at
     /// `start_at` (delayed past `now` when the file was full).
@@ -33,6 +38,7 @@ struct Slot {
     pc_hash: u16,
     is_prefetch: bool,
     valid: bool,
+    level: HitLevel,
 }
 
 const FREE: Slot = Slot {
@@ -41,6 +47,7 @@ const FREE: Slot = Slot {
     pc_hash: 0,
     is_prefetch: false,
     valid: false,
+    level: HitLevel::Dram,
 };
 
 /// A bounded file of outstanding line misses.
@@ -58,10 +65,10 @@ const FREE: Slot = Slot {
 /// # Example
 ///
 /// ```
-/// use bfetch_mem::{MshrFile, MshrOutcome};
+/// use bfetch_mem::{HitLevel, MshrFile, MshrOutcome};
 /// let mut mshr = MshrFile::new(4);
 /// assert!(matches!(mshr.request(0x40, 10), MshrOutcome::Allocated { start_at: 10 }));
-/// mshr.fill_scheduled(0x40, 242, false, 0);
+/// mshr.fill_scheduled(0x40, 242, false, 0, HitLevel::Dram);
 /// assert!(matches!(mshr.request(0x40, 50), MshrOutcome::Merged { complete_at: 242, .. }));
 /// ```
 #[derive(Debug, Clone)]
@@ -116,6 +123,7 @@ impl MshrFile {
                 complete_at: s.complete_at,
                 was_prefetch: s.is_prefetch,
                 pc_hash: s.pc_hash,
+                level: s.level,
             };
         }
         let start_at = if self.live >= self.slots.len() {
@@ -133,12 +141,20 @@ impl MshrFile {
         MshrOutcome::Allocated { start_at }
     }
 
-    /// Records that the miss for `line` will fill at `complete_at`.
+    /// Records that the miss for `line` will fill at `complete_at`,
+    /// serviced by hierarchy `level`.
     ///
     /// If the file is full, the displaced entry is the one that completes
     /// earliest (it is guaranteed to have drained by `start_at`), with the
     /// line address as the deterministic tie-break.
-    pub fn fill_scheduled(&mut self, line: u64, complete_at: u64, is_prefetch: bool, pc_hash: u16) {
+    pub fn fill_scheduled(
+        &mut self,
+        line: u64,
+        complete_at: u64,
+        is_prefetch: bool,
+        pc_hash: u16,
+        level: HitLevel,
+    ) {
         if self.live >= self.slots.len() {
             let victim = self
                 .slots
@@ -157,6 +173,7 @@ impl MshrFile {
             pc_hash,
             is_prefetch,
             valid: true,
+            level,
         };
         match self.find(line) {
             Some(i) => self.slots[i] = entry,
@@ -186,12 +203,12 @@ impl MshrFile {
     }
 
     /// The outstanding entry for `line`, if any:
-    /// `(complete_at, is_prefetch, pc_hash)`.
-    pub fn lookup(&self, line: u64) -> Option<(u64, bool, u16)> {
+    /// `(complete_at, is_prefetch, pc_hash, level)`.
+    pub fn lookup(&self, line: u64) -> Option<(u64, bool, u16, HitLevel)> {
         self.find(line)
             .map(|i| {
                 let s = self.slots[i];
-                (s.complete_at, s.is_prefetch, s.pc_hash)
+                (s.complete_at, s.is_prefetch, s.pc_hash, s.level)
             })
     }
 
@@ -227,7 +244,7 @@ mod tests {
             MshrOutcome::Allocated { start_at } => assert_eq!(start_at, 10),
             other => panic!("expected allocation, got {other:?}"),
         }
-        m.fill_scheduled(0x40, 210, false, 0);
+        m.fill_scheduled(0x40, 210, false, 0, HitLevel::Dram);
         match m.request(0x40, 50) {
             MshrOutcome::Merged {
                 complete_at,
@@ -245,8 +262,8 @@ mod tests {
     #[test]
     fn expire_clears_finished() {
         let mut m = MshrFile::new(2);
-        m.fill_scheduled(0x0, 100, false, 0);
-        m.fill_scheduled(0x40, 200, false, 0);
+        m.fill_scheduled(0x0, 100, false, 0, HitLevel::Dram);
+        m.fill_scheduled(0x40, 200, false, 0, HitLevel::Dram);
         m.expire(150);
         assert!(!m.contains(0x0));
         assert!(m.contains(0x40));
@@ -255,8 +272,8 @@ mod tests {
     #[test]
     fn full_file_delays_start() {
         let mut m = MshrFile::new(2);
-        m.fill_scheduled(0x0, 100, false, 0);
-        m.fill_scheduled(0x40, 120, false, 0);
+        m.fill_scheduled(0x0, 100, false, 0, HitLevel::Dram);
+        m.fill_scheduled(0x40, 120, false, 0, HitLevel::Dram);
         match m.request(0x80, 10) {
             MshrOutcome::Allocated { start_at } => assert_eq!(start_at, 100),
             other => panic!("expected delayed allocation, got {other:?}"),
@@ -267,7 +284,7 @@ mod tests {
     #[test]
     fn prefetch_merge_reports_late_prefetch() {
         let mut m = MshrFile::new(4);
-        m.fill_scheduled(0x40, 300, true, 0x155);
+        m.fill_scheduled(0x40, 300, true, 0x155, HitLevel::L3);
         match m.request(0x40, 100) {
             MshrOutcome::Merged {
                 was_prefetch,
@@ -289,8 +306,8 @@ mod tests {
     #[test]
     fn overfull_insert_displaces_earliest() {
         let mut m = MshrFile::new(1);
-        m.fill_scheduled(0x0, 100, false, 0);
-        m.fill_scheduled(0x40, 200, false, 0);
+        m.fill_scheduled(0x0, 100, false, 0, HitLevel::Dram);
+        m.fill_scheduled(0x40, 200, false, 0, HitLevel::Dram);
         assert_eq!(m.len(), 1);
         assert!(m.contains(0x40));
     }
@@ -300,9 +317,9 @@ mod tests {
         // two entries with the same completion time: the lower line
         // address is displaced, whatever order the slots were filled in
         let mut m = MshrFile::new(2);
-        m.fill_scheduled(0x80, 100, false, 0);
-        m.fill_scheduled(0x40, 100, false, 0);
-        m.fill_scheduled(0xc0, 200, false, 0);
+        m.fill_scheduled(0x80, 100, false, 0, HitLevel::Dram);
+        m.fill_scheduled(0x40, 100, false, 0, HitLevel::Dram);
+        m.fill_scheduled(0xc0, 200, false, 0, HitLevel::Dram);
         assert!(!m.contains(0x40));
         assert!(m.contains(0x80));
         assert!(m.contains(0xc0));
@@ -313,12 +330,25 @@ mod tests {
         let mut m = MshrFile::new(2);
         for round in 0..100u64 {
             let t = round * 10;
-            m.fill_scheduled(round * 0x40, t + 5, false, 0);
+            m.fill_scheduled(round * 0x40, t + 5, false, 0, HitLevel::Dram);
             assert!(m.len() <= 2);
             m.expire(t + 9);
         }
         assert!(m.is_empty());
         assert_eq!(m.free(), 2);
+    }
+
+    #[test]
+    fn merge_and_lookup_report_service_level() {
+        let mut m = MshrFile::new(4);
+        m.fill_scheduled(0x40, 300, true, 0x155, HitLevel::L3);
+        match m.request(0x40, 100) {
+            MshrOutcome::Merged { level, .. } => assert_eq!(level, HitLevel::L3),
+            other => panic!("expected merge, got {other:?}"),
+        }
+        // promotion flips the prefetch bit but keeps the provenance
+        m.promote_to_demand(0x40);
+        assert_eq!(m.lookup(0x40), Some((300, false, 0x155, HitLevel::L3)));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::core::{Core, CoreCounters};
 use bfetch_core::EngineStats;
 use bfetch_isa::Program;
 use bfetch_mem::{MemStats, MemorySystem};
+use bfetch_stats::cpi::{CpiStack, TimelineSample};
 use bfetch_stats::trace::{LifecycleCounts, TraceEvent, TraceSink, Tracer};
 use bfetch_stats::StatsRegistry;
 
@@ -33,6 +34,9 @@ pub struct RunResult {
     /// Off-chip prefetcher meta-data traffic over the window, in bytes
     /// (nonzero only for heavy-weight prefetchers like ISB).
     pub pf_metadata_bytes: u64,
+    /// CPI-stack over the window, when `SimConfig::cpi` accounting was
+    /// enabled (`None` otherwise — plain runs carry no accounting state).
+    pub cpi: Option<CpiStack>,
 }
 
 impl RunResult {
@@ -46,11 +50,44 @@ impl RunResult {
     }
 
     /// Conditional-branch misprediction rate in `[0, 1]`.
-    pub fn bp_miss_rate(&self) -> f64 {
+    pub fn branch_mispredict_rate(&self) -> f64 {
         if self.cond_branches == 0 {
             0.0
         } else {
             self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Alias for [`RunResult::branch_mispredict_rate`] (historical name).
+    pub fn bp_miss_rate(&self) -> f64 {
+        self.branch_mispredict_rate()
+    }
+
+    /// L1D demand misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem.l1d_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L1I demand misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem.l1i_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L1D demand miss rate in `[0, 1]` (misses over loads + stores).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        let accesses = self.mem.l1d_accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.mem.l1d_misses as f64 / accesses as f64
         }
     }
 
@@ -94,6 +131,11 @@ impl RunResult {
             r.set("bfetch.filtered", e.filtered);
             r.set("bfetch.queue_overflow", e.queue_overflow);
             r.set("bfetch.dbr_dropped", e.dbr_dropped);
+        }
+        // emitted only when accounting ran, so registries (and the golden
+        // fixtures rendered from them) of plain runs are unchanged
+        if let Some(cpi) = &self.cpi {
+            cpi.fill_registry(&mut r);
         }
         r
     }
@@ -149,7 +191,7 @@ fn run_multi_impl(
     programs: &[Program],
     cfg: &SimConfig,
     insts: u64,
-) -> (Vec<RunResult>, Option<TraceSink>) {
+) -> (Vec<RunResult>, Option<TraceSink>, Vec<TimelineSample>) {
     assert!(!programs.is_empty(), "need at least one program");
     assert!(insts > 0, "need a nonzero instruction quota");
     let n = programs.len();
@@ -191,6 +233,14 @@ fn run_multi_impl(
     } else {
         None
     };
+    // CPI accounting starts at the same point: the stack's cycle count then
+    // equals the measurement window exactly (the sum invariant is checked
+    // against `RunResult::cycles`).
+    if cfg.cpi.enabled {
+        for c in cores.iter_mut() {
+            c.enable_cpi(&cfg.cpi, &mem);
+        }
+    }
 
     // ---- measurement ----
     let snaps: Vec<Snapshot> = cores
@@ -237,6 +287,11 @@ fn run_multi_impl(
                         .engine()
                         .map(|e| e.stats().delta(&snap.engine.expect("snapshot taken"))),
                     pf_metadata_bytes: c.pf_metadata_bytes() - snap.pf_metadata,
+                    // snapshot at quota time: committed_slots == the window's
+                    // instruction count and cycles == the window's cycles,
+                    // even though fast cores keep running (and sampling)
+                    // until every core finishes
+                    cpi: c.cpi_stack().copied(),
                 });
                 remaining -= 1;
             }
@@ -248,11 +303,12 @@ fn run_multi_impl(
         .into_iter()
         .map(|r| r.expect("all finished"))
         .collect();
+    let timeline: Vec<TimelineSample> = cores.iter_mut().flat_map(Core::take_timeline).collect();
     // Release the cores' and hierarchy's tracer clones so `finish` can
     // unwrap the shared sink without copying it.
     drop(cores);
     drop(mem);
-    (results, tracer.and_then(|t| t.finish()))
+    (results, tracer.and_then(|t| t.finish()), timeline)
 }
 
 /// Runs a single program to `insts` measured instructions.
@@ -271,7 +327,7 @@ pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
 pub fn run_multi_traced(programs: &[Program], cfg: &SimConfig, insts: u64) -> TracedRun {
     let mut cfg = cfg.clone();
     cfg.trace.enabled = true;
-    let (results, sink) = run_multi_impl(programs, &cfg, insts);
+    let (results, sink, _) = run_multi_impl(programs, &cfg, insts);
     let sink = sink.expect("tracing was forced on");
     let (events, mut lifecycle) = sink.into_parts();
     // A core that never emitted an event has no per-core slot yet; pad so
@@ -287,6 +343,38 @@ pub fn run_multi_traced(programs: &[Program], cfg: &SimConfig, insts: u64) -> Tr
 /// Single-program convenience wrapper around [`run_multi_traced`].
 pub fn run_single_traced(program: &Program, cfg: &SimConfig, insts: u64) -> TracedRun {
     run_multi_traced(std::slice::from_ref(program), cfg, insts)
+}
+
+/// The output of a CPI-accounted run: the usual per-core results (each
+/// carrying its [`CpiStack`]) plus the interval timeline samples from all
+/// cores, in core order.
+#[derive(Debug, Clone)]
+pub struct CpiRun {
+    /// Per-core measurement results; `results[i].cpi` is `Some`.
+    pub results: Vec<RunResult>,
+    /// Interval samples across all cores (each sample is stamped with its
+    /// core id). Sampling continues past a core's quota until the slowest
+    /// core finishes, so the tail of a fast core's series extends beyond
+    /// its own measurement window.
+    pub timeline: Vec<TimelineSample>,
+}
+
+/// Like [`run_multi`], but with CPI-stack cycle accounting forced on:
+/// every result carries the stack decomposing its measurement window, and
+/// the interval sampler's time series is returned alongside.
+///
+/// The timing results are identical to an unaccounted [`run_multi`] of the
+/// same configuration — accounting only observes.
+pub fn run_multi_cpi(programs: &[Program], cfg: &SimConfig, insts: u64) -> CpiRun {
+    let mut cfg = cfg.clone();
+    cfg.cpi.enabled = true;
+    let (results, _, timeline) = run_multi_impl(programs, &cfg, insts);
+    CpiRun { results, timeline }
+}
+
+/// Single-program convenience wrapper around [`run_multi_cpi`].
+pub fn run_single_cpi(program: &Program, cfg: &SimConfig, insts: u64) -> CpiRun {
+    run_multi_cpi(std::slice::from_ref(program), cfg, insts)
 }
 
 #[cfg(test)]
@@ -479,6 +567,101 @@ mod tests {
         // Snapshot/delta over a registry built from the same result is zero.
         let snap = reg.snapshot();
         assert!(reg.delta(&snap).iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn cpi_accounting_does_not_change_results() {
+        let p = stream_kernel(32 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::BFetch);
+        cfg.cpi.timeline_interval = 2_500;
+        let plain = run_single(&p, &cfg, 10_000);
+        let cpi = run_single_cpi(&p, &cfg, 10_000);
+        let mut accounted = cpi.results[0].clone();
+        let stack = accounted.cpi.take().expect("accounting was forced on");
+        assert_eq!(plain, accounted, "accounting must only observe");
+        assert!(stack.cycles > 0);
+        assert!(!cpi.timeline.is_empty(), "sampler must fire within 10k insts");
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_width_times_cycles() {
+        let p = stream_kernel(32 * 1024);
+        for kind in [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::BFetch,
+        ] {
+            let run = run_single_cpi(&p, &quick_cfg(kind), 10_000);
+            let r = &run.results[0];
+            let stack = r.cpi.as_ref().expect("accounting on");
+            assert!(stack.holds_invariant(), "{kind:?}: {stack:?}");
+            // the stack covers exactly the measurement window
+            assert_eq!(stack.cycles, r.cycles, "{kind:?}");
+            assert_eq!(stack.committed_slots, r.instructions, "{kind:?}");
+            assert_eq!(stack.total_slots(), stack.width * r.cycles, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel_charges_memory_components() {
+        let p = stream_kernel(64 * 1024);
+        let base = run_single_cpi(&p, &quick_cfg(PrefetcherKind::None), 20_000);
+        let bf = run_single_cpi(&p, &quick_cfg(PrefetcherKind::BFetch), 20_000);
+        let s_base = base.results[0].cpi.unwrap();
+        let s_bf = bf.results[0].cpi.unwrap();
+        // the streaming kernel stalls on memory without a prefetcher...
+        assert!(
+            s_base.memory_cpi() > 0.3 * s_base.cpi(),
+            "baseline memory share too small: {} of {}",
+            s_base.memory_cpi(),
+            s_base.cpi()
+        );
+        // ...and B-Fetch's speedup shows up as a shrunken memory component
+        assert!(
+            s_bf.memory_cpi() < s_base.memory_cpi(),
+            "bfetch {} vs baseline {}",
+            s_bf.memory_cpi(),
+            s_base.memory_cpi()
+        );
+    }
+
+    #[test]
+    fn timeline_samples_are_exact_interval_deltas() {
+        let p = stream_kernel(32 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::Stride);
+        cfg.cpi.timeline_interval = 2_000;
+        let run = run_single_cpi(&p, &cfg, 10_000);
+        assert!(run.timeline.len() >= 5, "{} samples", run.timeline.len());
+        let mut insts = 0;
+        let mut cycles = 0;
+        for (i, s) in run.timeline.iter().enumerate() {
+            assert_eq!(s.core, 0);
+            assert_eq!(s.index as usize, i);
+            insts += s.interval_instructions;
+            cycles += s.interval_cycles;
+            // cumulative fields re-derive from the interval fields
+            assert_eq!(s.instructions, insts);
+            assert_eq!(s.cycle, cycles);
+            // the sampler fires within one commit-group of the boundary
+            assert!(s.instructions >= (i as u64 + 1) * 2_000);
+            assert!(s.instructions < (i as u64 + 1) * 2_000 + cfg.commit_width as u64);
+        }
+    }
+
+    #[test]
+    fn multi_core_cpi_stacks_are_per_core() {
+        let p = stream_kernel(16 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::None);
+        cfg.cpi.timeline_interval = 1_000;
+        let run = run_multi_cpi(&[p.clone(), p.clone()], &cfg, 5_000);
+        assert_eq!(run.results.len(), 2);
+        for (i, r) in run.results.iter().enumerate() {
+            let stack = r.cpi.as_ref().expect("accounting on");
+            assert!(stack.holds_invariant(), "core {i}");
+            assert_eq!(stack.cycles, r.cycles, "core {i}");
+        }
+        assert!(run.timeline.iter().any(|s| s.core == 0));
+        assert!(run.timeline.iter().any(|s| s.core == 1));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use bfetch_core::BFetchConfig;
 use bfetch_mem::{CacheConfig, DramConfig, HierarchyConfig};
 use bfetch_prefetch::{SmsConfig, StrideConfig};
-use bfetch_stats::TraceConfig;
+use bfetch_stats::{CpiConfig, TraceConfig};
 
 /// Which direction predictor a core uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +114,10 @@ pub struct SimConfig {
     /// Prefetch-lifecycle event tracing (off by default; the tracer is
     /// installed after warmup so events cover the measurement window only).
     pub trace: TraceConfig,
+    /// CPI-stack cycle accounting + interval timeline sampling (off by
+    /// default; enabled after warmup so the stack covers exactly the
+    /// measurement window).
+    pub cpi: CpiConfig,
 }
 
 impl SimConfig {
@@ -152,6 +156,7 @@ impl SimConfig {
             prefetch_issue_per_cycle: 2,
             warmup_insts: 50_000,
             trace: TraceConfig::default(),
+            cpi: CpiConfig::default(),
         }
     }
 
@@ -217,6 +222,12 @@ impl SimConfig {
     /// Baseline with lifecycle tracing configured (see `bfetch-stats`).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Baseline with CPI-stack accounting configured (see `bfetch-stats`).
+    pub fn with_cpi(mut self, cpi: CpiConfig) -> Self {
+        self.cpi = cpi;
         self
     }
 
@@ -308,6 +319,14 @@ mod tests {
         let c = SimConfig::baseline().with_trace(TraceConfig::on());
         assert!(c.trace.enabled);
         assert!(c.trace.capacity > 0);
+    }
+
+    #[test]
+    fn cpi_defaults_off_and_builder_enables() {
+        assert!(!SimConfig::baseline().cpi.enabled);
+        let c = SimConfig::baseline().with_cpi(CpiConfig::on());
+        assert!(c.cpi.enabled);
+        assert!(c.cpi.timeline_interval > 0);
     }
 
     #[test]

@@ -26,8 +26,9 @@ use bfetch_bpred::{
 };
 use bfetch_core::{BFetchEngine, DecodedBranch};
 use bfetch_isa::{ArchState, OpClass, Program};
-use bfetch_mem::{AccessKind, HitLevel, MemorySystem};
+use bfetch_mem::{AccessKind, HitLevel, MemStats, MemorySystem};
 use bfetch_prefetch::{AccessEvent, Isb, NextN, PrefetchRequest, Prefetcher, Sms, Stride};
+use bfetch_stats::cpi::{CpiComponent, CpiConfig, CpiStack, TimelineSample};
 use bfetch_stats::trace::{TraceKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -63,6 +64,12 @@ struct InFlight {
     regs_snapshot: Option<Box<[u64; 32]>>,
     latency_class: LatClass,
     forwarded: bool,
+    // cycle-accounting provenance (written on schedule; read only when the
+    // entry stalls commit from the head of the ROB)
+    port_delayed: bool,
+    mem_service: HitLevel,
+    mem_pf_covered: bool,
+    mem_queued_until: u64,
 }
 
 /// The configuration fields the per-cycle loop consults, copied out of
@@ -120,6 +127,34 @@ pub struct CoreCounters {
     pub forwarded_loads: u64,
 }
 
+/// Why fetch is currently stalled (`fetch_stall_until` in the future).
+/// Only consulted by the cycle accounting; updated whenever a stall site
+/// raises `fetch_stall_until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchStallReason {
+    /// Post-resolution redirect after a mispredicted branch.
+    Redirect,
+    /// L1I miss blocking instruction supply.
+    ICache,
+    /// Decode redirect for a predicted-taken branch absent from the BTB.
+    Btb,
+}
+
+/// CPI-stack state carried by a core while accounting is enabled: the
+/// cumulative stack plus the interval sampler's bookkeeping.
+#[derive(Debug)]
+struct CpiAccounting {
+    stack: CpiStack,
+    /// Committed instructions between samples (`0` disables the sampler).
+    interval: u64,
+    next_sample_at: u64,
+    samples: Vec<TimelineSample>,
+    // previous-sample snapshots for interval deltas
+    last_stack: CpiStack,
+    last_mem: MemStats,
+    last_mispredicts: u64,
+}
+
 /// One simulated core: functional state, branch prediction, the optional
 /// B-Fetch engine or demand prefetcher, and the out-of-order timing model.
 pub struct Core {
@@ -147,10 +182,12 @@ pub struct Core {
     pending_mem: BinaryHeap<Reverse<(u64, u64)>>, // (issue cycle, seq)
     fetch_blocked_by: Option<u64>,
     fetch_stall_until: u64,
+    fetch_stall_reason: FetchStallReason,
     cur_iline: u64,
     writers: [Option<u64>; 32],
     counters: CoreCounters,
     tracer: Tracer,
+    cpi: Option<Box<CpiAccounting>>,
 }
 
 impl std::fmt::Debug for Core {
@@ -208,10 +245,12 @@ impl Core {
             pending_mem: BinaryHeap::new(),
             fetch_blocked_by: None,
             fetch_stall_until: 0,
+            fetch_stall_reason: FetchStallReason::Redirect,
             cur_iline: u64::MAX,
             writers: [None; 32],
             counters: CoreCounters::default(),
             tracer: Tracer::disabled(),
+            cpi: None,
             params: CoreParams::of(cfg),
         }
     }
@@ -264,6 +303,40 @@ impl Core {
         }
     }
 
+    /// Switches on CPI-stack accounting (and, with a nonzero
+    /// `timeline_interval`, the interval sampler) from the *next* cycle on.
+    /// Called by the run harness right after warmup so the stack covers
+    /// exactly the measurement window. `mem` seeds the sampler's
+    /// interval-delta baselines.
+    pub fn enable_cpi(&mut self, cfg: &CpiConfig, mem: &MemorySystem) {
+        if !cfg.enabled {
+            return;
+        }
+        let width = self.params.commit_width as u64;
+        self.cpi = Some(Box::new(CpiAccounting {
+            stack: CpiStack::new(width),
+            interval: cfg.timeline_interval,
+            next_sample_at: cfg.timeline_interval.max(1),
+            samples: Vec::new(),
+            last_stack: CpiStack::new(width),
+            last_mem: *mem.stats(self.id),
+            last_mispredicts: self.counters.mispredicts,
+        }));
+    }
+
+    /// The accumulated CPI stack, when accounting is enabled.
+    pub fn cpi_stack(&self) -> Option<&CpiStack> {
+        self.cpi.as_ref().map(|c| &c.stack)
+    }
+
+    /// Drains the timeline samples collected so far.
+    pub fn take_timeline(&mut self) -> Vec<TimelineSample> {
+        self.cpi
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.samples))
+            .unwrap_or_default()
+    }
+
     #[inline]
     fn entry(&mut self, seq: u64) -> Option<&mut InFlight> {
         let base = self.rob_base;
@@ -281,9 +354,115 @@ impl Core {
         }
         self.process_pending_mem(now, mem);
         self.check_fetch_block(now);
-        self.commit(now);
+        // accounting classifies against pre-fetch state: the ROB snapshot
+        // right after commit still shows *why* commit fell short
+        let rob_was_full = self.cpi.is_some() && self.rob.len() >= self.params.rob_entries;
+        let committed = self.commit(now);
+        if self.cpi.is_some() {
+            self.account_cycle(now, committed, rob_was_full, mem);
+        }
         self.fetch(now, mem);
         self.prefetch_tick(now, mem);
+    }
+
+    // ---- cycle accounting ------------------------------------------------
+
+    /// Charges this cycle's lost commit slots to one root cause and runs
+    /// the interval sampler. Only called while accounting is enabled; with
+    /// `cpi == None` the cycle loop pays a single branch, keeping disabled
+    /// runs on the pre-accounting hot path.
+    fn account_cycle(&mut self, now: u64, committed: usize, rob_was_full: bool, mem: &MemorySystem) {
+        let cause = if committed < self.params.commit_width {
+            self.classify_stall(now, rob_was_full)
+        } else {
+            CpiComponent::Base // no lost slots: the cause is never recorded
+        };
+        let id = self.id;
+        let mispredicts = self.counters.mispredicts;
+        let Some(acc) = self.cpi.as_mut() else { return };
+        acc.stack.account_cycle(committed as u64, cause);
+        if acc.interval == 0 {
+            return;
+        }
+        while acc.stack.committed_slots >= acc.next_sample_at {
+            let interval = acc.stack.delta(&acc.last_stack);
+            let mem_now = *mem.stats(id);
+            let mem_d = mem_now.delta(&acc.last_mem);
+            acc.samples.push(TimelineSample {
+                core: id as u32,
+                index: acc.samples.len() as u32,
+                cycle: acc.stack.cycles,
+                instructions: acc.stack.committed_slots,
+                interval_cycles: interval.cycles,
+                interval_instructions: interval.committed_slots,
+                interval_mispredicts: mispredicts - acc.last_mispredicts,
+                interval_l1d_misses: mem_d.l1d_misses,
+                interval_pf_useful: mem_d.prefetch_useful,
+                interval_pf_useless: mem_d.prefetch_useless,
+                interval_pf_late: mem_d.prefetch_late,
+                lost: interval.lost,
+            });
+            acc.last_stack = acc.stack;
+            acc.last_mem = mem_now;
+            acc.last_mispredicts = mispredicts;
+            acc.next_sample_at += acc.interval;
+        }
+    }
+
+    /// Picks the single root cause for a cycle whose commit fell short of
+    /// the machine width. The decision tree leans on in-order commit: the
+    /// ROB head's operands are strictly older and already committed, so the
+    /// head is never waiting on a dependence — it is either queued for a
+    /// port, executing, or waiting on memory.
+    fn classify_stall(&self, now: u64, rob_was_full: bool) -> CpiComponent {
+        let Some(head) = self.rob.front() else {
+            // empty window: the frontend is not supplying instructions
+            if self.fetch_blocked_by.is_some() {
+                return CpiComponent::Mispredict;
+            }
+            if now < self.fetch_stall_until {
+                return match self.fetch_stall_reason {
+                    FetchStallReason::Redirect => CpiComponent::Mispredict,
+                    FetchStallReason::ICache | FetchStallReason::Btb => CpiComponent::FetchStall,
+                };
+            }
+            // pipeline refill: fetch runs this cycle, commit sees it later
+            return CpiComponent::FetchStall;
+        };
+        if head.is_load && !head.forwarded {
+            if !head.scheduled {
+                // still queued for a memory port (or, rarely, just
+                // dispatched): structural only if the port ring pushed it
+                // past its ready time
+                return if head.port_delayed {
+                    CpiComponent::LsqFull
+                } else {
+                    CpiComponent::Base
+                };
+            }
+            if head.mem_service != HitLevel::L1 {
+                if now < head.mem_queued_until {
+                    return CpiComponent::MshrFull;
+                }
+                return match (head.mem_service, head.mem_pf_covered) {
+                    (HitLevel::L2, false) => CpiComponent::MemL2,
+                    (HitLevel::L2, true) => CpiComponent::MemL2Covered,
+                    (HitLevel::L3, false) => CpiComponent::MemL3,
+                    (HitLevel::L3, true) => CpiComponent::MemL3Covered,
+                    (_, false) => CpiComponent::MemDram,
+                    (_, true) => CpiComponent::MemDramCovered,
+                };
+            }
+            // L1-hit latency: plain pipeline depth, falls through to base
+        }
+        if head.is_store && head.port_delayed && head.complete_at > now {
+            return CpiComponent::LsqFull;
+        }
+        if rob_was_full {
+            CpiComponent::RobFull
+        } else {
+            CpiComponent::Base
+        }
     }
 
     // ---- scheduling ------------------------------------------------------
@@ -300,6 +479,7 @@ impl Core {
                 let is_store = e.is_store;
                 let t = self.mem_ports.reserve(earliest);
                 let e = self.entry(seq).expect("entry exists");
+                e.port_delayed = t > earliest;
                 if is_store {
                     // stores drain through the store buffer: dependents (and
                     // commit) see them complete right after address issue
@@ -363,18 +543,21 @@ impl Core {
             let Some(e) = self.entry(seq) else { continue };
             let (is_load, ea, pc, forwarded) = (e.is_load, e.ea, e.pc, e.forwarded);
             if is_load {
-                let complete = if forwarded {
-                    now + 1
+                let (complete, service, pf_covered, queued_until) = if forwarded {
+                    (now + 1, HitLevel::L1, false, 0)
                 } else if self.perfect {
-                    now + self.params.l1d_latency
+                    (now + self.params.l1d_latency, HitLevel::L1, false, 0)
                 } else {
                     let out = mem.access(self.id, AccessKind::Load, ea, now);
                     self.observe_access(pc, ea, out.level == HitLevel::L1, true);
-                    out.complete_at
+                    (out.complete_at, out.service, out.pf_covered, out.queued_until)
                 };
                 let e = self.entry(seq).expect("entry exists");
                 e.scheduled = true;
                 e.complete_at = complete.max(now + 1);
+                e.mem_service = service;
+                e.mem_pf_covered = pf_covered;
+                e.mem_queued_until = queued_until;
                 self.on_scheduled(seq);
             } else if !self.perfect {
                 let out = mem.access(self.id, AccessKind::Store, ea, now);
@@ -406,12 +589,17 @@ impl Core {
 
     // ---- commit ----------------------------------------------------------
 
-    fn commit(&mut self, now: u64) {
+    /// Retires up to `commit_width` finished instructions in order and
+    /// returns how many committed (the cycle accounting charges the
+    /// remaining slots).
+    fn commit(&mut self, now: u64) -> usize {
+        let mut committed = 0;
         for _ in 0..self.params.commit_width {
             let Some(front) = self.rob.front() else { break };
             if !front.scheduled || front.complete_at > now {
                 break;
             }
+            committed += 1;
             let fi = self.rob.pop_front().expect("front exists");
             self.rob_base += 1;
             self.counters.committed += 1;
@@ -457,6 +645,7 @@ impl Core {
                 }
             }
         }
+        committed
     }
 
     // ---- fetch -----------------------------------------------------------
@@ -470,7 +659,10 @@ impl Core {
                 _ => None,
             };
             if let Some(c) = resolved {
-                self.fetch_stall_until = self.fetch_stall_until.max(c + penalty);
+                if c + penalty > self.fetch_stall_until {
+                    self.fetch_stall_until = c + penalty;
+                    self.fetch_stall_reason = FetchStallReason::Redirect;
+                }
                 self.fetch_blocked_by = None;
             }
         }
@@ -498,6 +690,7 @@ impl Core {
                 self.cur_iline = line;
                 if out.complete_at > now + l1i_lat {
                     self.fetch_stall_until = out.complete_at;
+                    self.fetch_stall_reason = FetchStallReason::ICache;
                     break;
                 }
             }
@@ -537,6 +730,10 @@ impl Core {
                     OpClass::IntMul => LatClass::Mul,
                     _ => LatClass::Simple,
                 },
+                port_delayed: false,
+                mem_service: HitLevel::L1,
+                mem_pf_covered: false,
+                mem_queued_until: 0,
             };
 
             let mut mispredicted = false;
@@ -557,8 +754,11 @@ impl Core {
                 // taken branches whose target is not in the BTB pay a small
                 // decode-redirect penalty
                 if fi.pred_taken && self.btb.lookup(pc).is_none() {
-                    self.fetch_stall_until =
-                        self.fetch_stall_until.max(now + self.params.btb_miss_penalty);
+                    let until = now + self.params.btb_miss_penalty;
+                    if until > self.fetch_stall_until {
+                        self.fetch_stall_until = until;
+                        self.fetch_stall_reason = FetchStallReason::Btb;
+                    }
                 }
                 fi.regs_snapshot = Some(Box::new(*self.arch.regs()));
                 let confidence = self.conf.estimate(pc, ghr_before, fi.pred_strength);

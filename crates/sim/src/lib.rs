@@ -12,7 +12,10 @@
 //! traced variants ([`run_single_traced`] / [`run_multi_traced`]) add
 //! prefetch-lifecycle observability — typed trace events plus exact
 //! per-core lifecycle tallies — without perturbing timing; enable them
-//! per-config with [`SimConfig::with_trace`] (see `bfetch-stats`).
+//! per-config with [`SimConfig::with_trace`] (see `bfetch-stats`). The
+//! CPI-accounted variants ([`run_single_cpi`] / [`run_multi_cpi`]) charge
+//! every lost commit slot to a root cause and sample an interval timeline
+//! (see [`SimConfig::with_cpi`]), again without perturbing timing.
 //!
 //! ## Fidelity notes (also in DESIGN.md)
 //!
@@ -33,8 +36,11 @@ pub mod energy;
 pub mod ports;
 
 pub use analysis::{delta_cdfs, DeltaCdfs};
-pub use bfetch_stats::TraceConfig;
-pub use cmp::{run_multi, run_multi_traced, run_single, run_single_traced, RunResult, TracedRun};
+pub use bfetch_stats::{CpiComponent, CpiConfig, CpiStack, TimelineSample, TraceConfig};
+pub use cmp::{
+    run_multi, run_multi_cpi, run_multi_traced, run_single, run_single_cpi, run_single_traced,
+    CpiRun, RunResult, TracedRun,
+};
 pub use config::{PredictorKind, PrefetcherKind, SimConfig};
 pub use core::{Core, CoreCounters};
 pub use energy::{EnergyParams, EnergyReport};

@@ -7,9 +7,11 @@
 //! for the figure/table regeneration binaries.
 //!
 //! It also hosts the simulator-wide observability layer: [`registry`]
-//! (named hierarchical counters with snapshot/delta) and [`trace`]
+//! (named hierarchical counters with snapshot/delta), [`trace`]
 //! (cycle-stamped prefetch-lifecycle events and the derived
-//! accuracy/coverage/timeliness metrics).
+//! accuracy/coverage/timeliness metrics), and [`cpi`] (top-down
+//! CPI-stack cycle accounting with the one-cause-per-slot invariant,
+//! plus interval timeline samples).
 //!
 //! # Example
 //!
@@ -22,11 +24,13 @@
 //! ```
 
 pub mod cdf;
+pub mod cpi;
 pub mod registry;
 pub mod table;
 pub mod trace;
 
 pub use cdf::Cdf;
+pub use cpi::{CpiComponent, CpiConfig, CpiStack, TimelineSample};
 pub use registry::StatsRegistry;
 pub use table::Table;
 pub use trace::{

@@ -125,6 +125,11 @@ impl StatsRegistry {
             self.add(k, v);
         }
     }
+
+    /// Removes the counter `name`, returning its value if it existed.
+    pub fn remove(&mut self, name: &str) -> Option<u64> {
+        self.counters.remove(name)
+    }
 }
 
 /// Renders one `name value` line per counter, in name order.
@@ -196,6 +201,58 @@ mod tests {
         r.set_hist("core.branch_fetch_hist", &[100, 40, 8]);
         assert_eq!(r.get("core.branch_fetch_hist.0"), 100);
         assert_eq!(r.get("core.branch_fetch_hist.2"), 8);
+    }
+
+    #[test]
+    fn delta_drops_counters_absent_from_the_later_snapshot() {
+        // delta() iterates only the *later* registry's counters, so a
+        // counter that disappears between snapshots vanishes from the
+        // window rather than reporting a negative or stale value — callers
+        // comparing registries from different configurations (e.g. with
+        // and without cpi.* keys) rely on this
+        let mut before = StatsRegistry::new();
+        before.set("kept", 1);
+        before.set("gone", 5);
+        let mut after = StatsRegistry::new();
+        after.set("kept", 4);
+        let d = after.delta(&before);
+        assert_eq!(d.get("kept"), 3);
+        assert!(!d.contains("gone"));
+        assert_eq!(d.len(), 1);
+        // the reverse direction: a counter born between snapshots counts
+        // from zero and is present
+        let d2 = before.delta(&after);
+        assert_eq!(d2.get("gone"), 5);
+        assert!(d2.contains("gone"));
+    }
+
+    #[test]
+    fn hist_with_ten_or_more_buckets_orders_lexicographically() {
+        // indexed counters sort as strings: "h.10" precedes "h.2". The
+        // expansion itself is index-faithful (get() is unaffected), but
+        // any consumer of iter()/Display must not assume numeric bucket
+        // order past ten buckets
+        let buckets: Vec<u64> = (0..12).collect();
+        let mut r = StatsRegistry::new();
+        r.set_hist("h", &buckets);
+        for (i, &v) in buckets.iter().enumerate() {
+            assert_eq!(r.get(&format!("h.{i}")), v);
+        }
+        let names: Vec<&str> = r.with_prefix("h.").map(|(k, _)| k).collect();
+        assert_eq!(
+            names,
+            ["h.0", "h.1", "h.10", "h.11", "h.2", "h.3", "h.4", "h.5", "h.6", "h.7", "h.8",
+             "h.9"]
+        );
+    }
+
+    #[test]
+    fn remove_returns_the_old_value() {
+        let mut r = StatsRegistry::new();
+        r.set("cpi.width", 4);
+        assert_eq!(r.remove("cpi.width"), Some(4));
+        assert_eq!(r.remove("cpi.width"), None);
+        assert!(!r.contains("cpi.width"));
     }
 
     #[test]

@@ -657,6 +657,40 @@ mod tests {
     }
 
     #[test]
+    fn tracer_handles_share_one_ring_across_wraparound() {
+        // two per-core handles feed one 4-entry ring past capacity: the
+        // ring keeps only the newest four events, but both cores' lifecycle
+        // tallies (which accumulate outside the ring) stay exact
+        let cfg = TraceConfig { enabled: true, capacity: 4 };
+        let t = Tracer::enabled(&cfg);
+        let c0 = t.for_core(0);
+        let c1 = t.for_core(1);
+        for i in 0..5u64 {
+            c0.emit(2 * i, issued(0x40 * i));
+            c1.emit(2 * i + 1, issued(0x40 * i));
+        }
+        drop((c0, c1));
+        let sink = t.finish().unwrap();
+        assert_eq!(sink.total_recorded(), 10);
+        assert_eq!(sink.overwritten(), 6);
+        let cycles: Vec<u64> = sink.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, [6, 7, 8, 9], "ring keeps the newest events in order");
+        assert_eq!(sink.lifecycle(0).issued, 5, "tallies survive wraparound");
+        assert_eq!(sink.lifecycle(1).issued, 5);
+        assert_eq!(sink.lifecycle_total().issued, 10);
+    }
+
+    #[test]
+    fn zero_capacity_ring_clamps_to_one() {
+        let mut sink = TraceSink::new(0);
+        sink.record(TraceEvent { cycle: 1, core: 0, kind: issued(0x40) });
+        sink.record(TraceEvent { cycle: 2, core: 0, kind: issued(0x80) });
+        assert_eq!(sink.events().count(), 1);
+        assert_eq!(sink.total_recorded(), 2);
+        assert_eq!(sink.overwritten(), 1);
+    }
+
+    #[test]
     fn finish_clones_when_other_handles_remain() {
         let t = Tracer::enabled(&TraceConfig::on());
         let other = t.for_core(3);

@@ -32,6 +32,12 @@ cargo check -p bfetch-bench --benches --features criterion-benches -q
 echo "==> simulator throughput smoke (ext_simspeed --quick)"
 target/release/ext_simspeed --quick --label verify --out target/BENCH_simspeed.json
 
+echo "==> CPI-stack smoke (ext_cpistack --quick) + timeline export"
+target/release/ext_cpistack --quick --small --kernels mcf,libquantum \
+  --timeline target/BENCH_cpistack_timeline.jsonl
+test -s target/BENCH_cpistack_timeline.jsonl
+grep -q '"event":"timeline_sample"' target/BENCH_cpistack_timeline.jsonl
+
 echo "==> harness determinism: serial vs parallel vs cached stdout"
 BIN=target/release/fig08_single
 CACHE=$(mktemp -d)
