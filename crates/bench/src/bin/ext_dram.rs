@@ -31,7 +31,7 @@ fn main() {
     let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
     for (mi, (label, _)) in models.iter().enumerate() {
@@ -39,10 +39,10 @@ fn main() {
         let mut bf = Vec::new();
         let mut sms = Vec::new();
         for k in &kernels {
-            let b = out.result(&format!("{}/{mi}/base", k.name)).ipc();
+            let b = out.require(&format!("{}/{mi}/base", k.name)).ipc();
             base_ipc.push(b);
-            bf.push(out.result(&format!("{}/{mi}/bfetch", k.name)).ipc() / b);
-            sms.push(out.result(&format!("{}/{mi}/sms", k.name)).ipc() / b);
+            bf.push(out.require(&format!("{}/{mi}/bfetch", k.name)).ipc() / b);
+            sms.push(out.require(&format!("{}/{mi}/sms", k.name)).ipc() / b);
         }
         rows.push((
             label,

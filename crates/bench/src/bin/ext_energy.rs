@@ -35,16 +35,16 @@ fn main() {
     let cfgs: Vec<(&str, _)> = kinds.iter().map(|&k| (k.name(), opts.config(k))).collect();
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     // per kind: (speedup, energy ratio) geomeans over kernels
     let mut rows: Vec<(PrefetcherKind, Vec<f64>, Vec<f64>)> =
         kinds.iter().map(|&k| (k, Vec::new(), Vec::new())).collect();
     for k in &kernels {
-        let base = out.result(&format!("{}/{}", k.name, PrefetcherKind::None.name()));
+        let base = out.require(&format!("{}/{}", k.name, PrefetcherKind::None.name()));
         let base_e = estimate(base, 0.0, &params).nj_per_inst(base.instructions);
         for (kind, speedups, energies) in rows.iter_mut() {
-            let r = out.result(&format!("{}/{}", k.name, kind.name()));
+            let r = out.require(&format!("{}/{}", k.name, kind.name()));
             let e = estimate(r, storage_kb(*kind), &params).nj_per_inst(r.instructions);
             speedups.push(r.ipc() / base.ipc());
             energies.push(e / base_e);

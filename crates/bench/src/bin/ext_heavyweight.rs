@@ -26,7 +26,7 @@ fn main() {
     cfgs.extend(kinds.iter().map(|&kind| (kind.name(), opts.config(kind))));
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     let mut useful = [0u64; 3];
@@ -34,10 +34,10 @@ fn main() {
     let mut demand_bytes = 0u64;
     let mut metadata_bytes = 0u64;
     for k in &kernels {
-        let base = out.result(&format!("{}/base", k.name));
+        let base = out.require(&format!("{}/base", k.name));
         demand_bytes += (base.mem.dram_reqs) * 64;
         for (i, &kind) in kinds.iter().enumerate() {
-            let r = out.result(&format!("{}/{}", k.name, kind.name()));
+            let r = out.require(&format!("{}/{}", k.name, kind.name()));
             speedups[i].push(r.ipc() / base.ipc());
             useful[i] += r.mem.prefetch_useful;
             useless[i] += r.mem.prefetch_useless;

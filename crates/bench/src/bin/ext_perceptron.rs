@@ -28,7 +28,7 @@ fn main() {
     let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for pk in predictors {
@@ -37,9 +37,9 @@ fn main() {
         let mut rates = Vec::new();
         let mut depths = Vec::new();
         for k in &kernels {
-            let ref_ipc = out.result(&format!("{}/ref", k.name)).ipc();
-            let b = out.result(&format!("{}/base/{pk:?}", k.name));
-            let f = out.result(&format!("{}/bfetch/{pk:?}", k.name));
+            let ref_ipc = out.require(&format!("{}/ref", k.name)).ipc();
+            let b = out.require(&format!("{}/base/{pk:?}", k.name));
+            let f = out.require(&format!("{}/bfetch/{pk:?}", k.name));
             base_r.push(b.ipc() / ref_ipc);
             bf_r.push(f.ipc() / ref_ipc);
             rates.push(b.bp_miss_rate());

@@ -18,11 +18,11 @@ fn main() {
         opts.instructions,
         opts.scale,
     );
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut hist = [0u64; 5];
     for k in &kernels {
-        let r = out.result(&format!("{}/base", k.name));
+        let r = out.require(&format!("{}/base", k.name));
         for (i, v) in r.branch_fetch_hist.iter().enumerate() {
             hist[i] += v;
         }

@@ -19,14 +19,14 @@ fn main() {
         opts.instructions,
         opts.scale,
     );
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let headers = ["sms useful", "sms useless", "bfetch useful", "bfetch useless"];
     let mut totals = [0u64; 4];
     let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
     for k in &kernels {
-        let sms = out.result(&format!("{}/sms", k.name)).mem;
-        let bf = out.result(&format!("{}/bfetch", k.name)).mem;
+        let sms = out.require(&format!("{}/sms", k.name)).mem;
+        let bf = out.require(&format!("{}/bfetch", k.name)).mem;
         let row = [
             sms.prefetch_useful,
             sms.prefetch_useless,

@@ -27,7 +27,7 @@ fn main() {
     let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for &s in &scales {
@@ -35,9 +35,9 @@ fn main() {
         let mut bf_ratio = Vec::new();
         let mut rates = Vec::new();
         for k in &kernels {
-            let ref_ipc = out.result(&format!("{}/ref", k.name)).ipc();
-            let b = out.result(&format!("{}/base/{s}", k.name));
-            let f = out.result(&format!("{}/bfetch/{s}", k.name));
+            let ref_ipc = out.require(&format!("{}/ref", k.name)).ipc();
+            let b = out.require(&format!("{}/base/{s}", k.name));
+            let f = out.require(&format!("{}/bfetch/{s}", k.name));
             base_ratio.push(b.ipc() / ref_ipc);
             bf_ratio.push(f.ipc() / ref_ipc);
             rates.push(b.bp_miss_rate());

@@ -24,15 +24,15 @@ fn main() {
     let named: Vec<(&str, _)> = cfgs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
     let mut spec = SweepSpec::new();
     spec.push_grid(&kernels, &named, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     let mut rows: Vec<(&'static str, Vec<f64>)> = Vec::new();
     for k in &kernels {
         let vals = widths
             .iter()
             .map(|&w| {
-                let base = out.result(&format!("{}/base/{w}", k.name)).ipc();
-                out.result(&format!("{}/bfetch/{w}", k.name)).ipc() / base
+                let base = out.require(&format!("{}/base/{w}", k.name)).ipc();
+                out.require(&format!("{}/bfetch/{w}", k.name)).ipc() / base
             })
             .collect();
         rows.push((k.name, vals));

@@ -31,7 +31,7 @@ fn main() {
     let mut spec = SweepSpec::new();
     let cfgs: Vec<(&str, _)> = kinds.iter().map(|&kind| (kind.name(), opts.config(kind))).collect();
     spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     if opts.json {
         println!("{}", out.to_json());
@@ -40,7 +40,7 @@ fn main() {
     for k in &kernels {
         println!("=== {} ===", k.name);
         for kind in kinds {
-            let r = out.result(&format!("{}/{}", k.name, kind.name()));
+            let r = out.require(&format!("{}/{}", k.name, kind.name()));
             println!(
                 "{:10} ipc={:.3} l1dmiss={} merges={} pf: issued={} redundant={} mshr_drop={} useful={} useless={} late={}",
                 kind.name(),

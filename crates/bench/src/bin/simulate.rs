@@ -21,7 +21,7 @@ fn usage() -> ! {
          \x20               [--predictor tournament|perceptron] [--width N] [--instructions N | -n N]\n\
          \x20               [--warmup N] [--small] [--writebacks] [--forwarding] [--row-dram]\n\
          \x20               [--confidence T] [--threads N] [--json] [--no-cache] [--cache-dir P]\n\
-         \x20               [--list]"
+         \x20               [--cache-gc] [--cache-cap BYTES] [--list]"
     );
     std::process::exit(2)
 }
@@ -35,6 +35,8 @@ fn main() {
     let mut json = false;
     let mut no_cache = false;
     let mut cache_dir: Option<String> = None;
+    let mut cache_gc = false;
+    let mut cache_cap = 512u64 * 1024 * 1024;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -107,6 +109,10 @@ fn main() {
             "--json" => json = true,
             "--no-cache" => no_cache = true,
             "--cache-dir" => cache_dir = Some(val()),
+            "--cache-gc" => cache_gc = true,
+            "--cache-cap" => {
+                cache_cap = bfetch_bench::parse_bytes(&val()).unwrap_or_else(|| usage())
+            }
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 usage()
@@ -138,14 +144,17 @@ fn main() {
     } else if let Some(dir) = cache_dir {
         harness = harness.with_cache_dir(dir);
     }
+    if cache_gc {
+        harness.run_cache_gc(cache_cap);
+    }
     let mut spec = SweepSpec::new();
     spec.push(GridPoint::mix("run", members.clone(), cfg.clone(), insts, scale));
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
     if json {
         println!("{}", out.to_json());
         return;
     }
-    let results = out.results("run");
+    let results = out.require_all("run");
 
     let mut t = Table::new(vec![
         "core".into(),

@@ -15,17 +15,37 @@
 //!
 //! Timings and cache statistics go to stderr only; `--json` renders the
 //! raw results machine-readably on stdout.
+//!
+//! ## Failure isolation
+//!
+//! One bad grid point must not cost the sweep. Each point runs under
+//! `catch_unwind`, and a panic, a typed simulator abort
+//! ([`SimError`]: watchdog, cycle budget) or a cache I/O failure becomes a
+//! [`PointError`] in [`SweepOutcome::failures`] while every healthy point
+//! completes (and caches) normally. Cache I/O failures — the only
+//! transient class — are retried up to [`CACHE_IO_ATTEMPTS`] times;
+//! deterministic simulator failures are not. Binaries call
+//! [`SweepOutcome::or_fail`], which on the no-failure path returns the
+//! outcome untouched (stdout stays byte-identical) and otherwise prints a
+//! deterministic `FAILED <label>: <reason>` report to stderr and exits
+//! non-zero.
 
 pub mod cache;
 pub mod executor;
 pub mod jsonio;
 
 use crate::opts::Opts;
-use bfetch_sim::{run_multi, run_single, RunResult, SimConfig};
+use bfetch_sim::{try_run_multi, try_run_single, FaultInjection, RunResult, SimConfig, SimError};
+use bfetch_workloads::faults::{FaultKernel, FaultMode};
 use bfetch_workloads::{Kernel, Scale};
 use cache::ResultCache;
 use jsonio::Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// How many times a point whose *cache* failed (I/O error class, not a
+/// simulator failure) is attempted before giving up.
+pub const CACHE_IO_ATTEMPTS: u32 = 3;
 
 /// One experiment point: a workload (single kernel or a mix) under one
 /// configuration for one instruction budget.
@@ -79,6 +99,34 @@ impl GridPoint {
         }
     }
 
+    /// A fault-injection point (testing): runs the fault-loop workload
+    /// with `config` armed to fail per `fault`. `Panic` panics mid-run,
+    /// `Livelock` freezes commit so the watchdog aborts, `Runaway`
+    /// freezes with the watchdog disabled so the cycle budget is the
+    /// backstop.
+    pub fn faulty(
+        label: impl Into<String>,
+        fault: FaultKernel,
+        config: SimConfig,
+        instructions: u64,
+    ) -> Self {
+        let config = match fault.mode {
+            FaultMode::Panic => config.with_fault(FaultInjection {
+                panic_at_insts: fault.at_insts,
+                freeze_at_insts: 0,
+            }),
+            FaultMode::Livelock => config.with_fault(FaultInjection {
+                panic_at_insts: 0,
+                freeze_at_insts: fault.at_insts,
+            }),
+            FaultMode::Runaway => config.with_watchdog(0).with_fault(FaultInjection {
+                panic_at_insts: 0,
+                freeze_at_insts: fault.at_insts,
+            }),
+        };
+        Self::single(label, fault.kernel(), config, instructions, Scale::Small)
+    }
+
     /// The canonical cache key: schema version, members, scale,
     /// instruction budget, and the complete configuration (`Debug`
     /// rendering, which recursively covers every nested config field).
@@ -96,15 +144,22 @@ impl GridPoint {
         )
     }
 
-    /// Runs the simulation for this point (no caching at this level).
-    pub fn execute(&self) -> Vec<RunResult> {
+    /// Runs the simulation for this point (no caching at this level),
+    /// surfacing watchdog/budget aborts as values.
+    pub fn try_execute(&self) -> Result<Vec<RunResult>, SimError> {
         if self.members.len() == 1 {
             let program = self.members[0].build(self.scale);
-            vec![run_single(&program, &self.config, self.instructions)]
+            try_run_single(&program, &self.config, self.instructions).map(|r| vec![r])
         } else {
             let programs: Vec<_> = self.members.iter().map(|k| k.build(self.scale)).collect();
-            run_multi(&programs, &self.config, self.instructions)
+            try_run_multi(&programs, &self.config, self.instructions)
         }
+    }
+
+    /// Like [`GridPoint::try_execute`], panicking on simulator aborts
+    /// (kept for callers outside a sweep).
+    pub fn execute(&self) -> Vec<RunResult> {
+        self.try_execute().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -190,6 +245,89 @@ pub struct PointOutcome {
     pub millis: f64,
 }
 
+/// Why a grid point failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The simulation (or the workload builder) panicked; carries the
+    /// panic message. Deterministic — never retried.
+    Panic(String),
+    /// A typed simulator abort (watchdog or cycle budget).
+    /// Deterministic — never retried.
+    Sim(SimError),
+    /// The result cache could not be read — a transient environment
+    /// problem, retried up to [`CACHE_IO_ATTEMPTS`] times.
+    CacheIo(String),
+}
+
+impl FailureKind {
+    /// Machine-readable class tag for the JSON report.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FailureKind::Panic(_) => "panic",
+            FailureKind::Sim(_) => "sim",
+            FailureKind::CacheIo(_) => "cache-io",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Sim(e) => write!(f, "{e}"),
+            FailureKind::CacheIo(msg) => write!(f, "cache I/O: {msg}"),
+        }
+    }
+}
+
+/// A failed grid point: which point, how often it was attempted, and why
+/// it failed. Collected in [`SweepOutcome::failures`], spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointError {
+    /// The point's index in the spec.
+    pub index: usize,
+    /// The point's label.
+    pub label: String,
+    /// Attempts made (> 1 only for the retriable cache-I/O class).
+    pub attempts: u32,
+    /// The failure itself.
+    pub kind: FailureKind,
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.label, self.kind)
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// A label lookup that found nothing: either the spec never contained the
+/// point (a programming error in the binary) or the point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingPoint {
+    /// The label looked up.
+    pub label: String,
+    /// Whether the point exists in the sweep but failed.
+    pub failed: bool,
+}
+
+impl std::fmt::Display for MissingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.failed {
+            write!(
+                f,
+                "grid point {:?} failed; see the failure report",
+                self.label
+            )
+        } else {
+            write!(f, "no grid point labelled {:?} in this sweep", self.label)
+        }
+    }
+}
+
+impl std::error::Error for MissingPoint {}
+
 /// Aggregate counters for one [`Harness::run`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepStats {
@@ -197,50 +335,94 @@ pub struct SweepStats {
     pub points: usize,
     /// Points served from the cache.
     pub cache_hits: usize,
-    /// Simulations actually executed.
+    /// Simulations actually executed (successfully).
     pub sims_run: usize,
+    /// Points that failed (see [`SweepOutcome::failures`]).
+    pub failed: usize,
     /// Total wall-clock for the sweep, milliseconds.
     pub wall_millis: f64,
     /// Worker threads used.
     pub threads: usize,
 }
 
-/// Everything a sweep produced: per-point outcomes (input order) plus
-/// aggregate statistics.
+/// Everything a sweep produced: per-point outcomes for the healthy points
+/// (input order), the failures (input order), and aggregate statistics.
 pub struct SweepOutcome {
     pub outcomes: Vec<PointOutcome>,
+    pub failures: Vec<PointError>,
     pub stats: SweepStats,
 }
 
 impl SweepOutcome {
-    /// The outcome for `label`, if the sweep contained it.
+    /// The outcome for `label`, if the sweep contained it and it
+    /// succeeded.
     pub fn get(&self, label: &str) -> Option<&PointOutcome> {
         self.outcomes.iter().find(|o| o.label == label)
     }
 
-    /// The single-core result for `label`; panics if the label is absent
-    /// (a programming error in the binary: the spec it built didn't
-    /// contain the point it is reading).
-    pub fn result(&self, label: &str) -> &RunResult {
-        &self
-            .get(label)
-            .unwrap_or_else(|| panic!("no grid point labelled {label:?} in this sweep"))
-            .results[0]
+    /// The failure for `label`, if that point failed.
+    pub fn failure(&self, label: &str) -> Option<&PointError> {
+        self.failures.iter().find(|f| f.label == label)
+    }
+
+    /// The single-core result for `label`.
+    pub fn try_result(&self, label: &str) -> Result<&RunResult, MissingPoint> {
+        self.try_results(label).map(|rs| &rs[0])
     }
 
     /// All results for `label` (mix points have one per core).
-    pub fn results(&self, label: &str) -> &[RunResult] {
-        &self
-            .get(label)
-            .unwrap_or_else(|| panic!("no grid point labelled {label:?} in this sweep"))
-            .results
+    pub fn try_results(&self, label: &str) -> Result<&[RunResult], MissingPoint> {
+        match self.get(label) {
+            Some(o) => Ok(&o.results),
+            None => Err(MissingPoint {
+                label: label.to_string(),
+                failed: self.failure(label).is_some(),
+            }),
+        }
+    }
+
+    /// The single-core result for `label`; prints the error and exits
+    /// with status 1 if the point is absent or failed (the binaries'
+    /// lookup path — a missing label is unrecoverable for a figure).
+    pub fn require(&self, label: &str) -> &RunResult {
+        self.try_result(label).unwrap_or_else(|e| crate::exit_err(e))
+    }
+
+    /// All results for `label`; prints the error and exits with status 1
+    /// if the point is absent or failed.
+    pub fn require_all(&self, label: &str) -> &[RunResult] {
+        self.try_results(label).unwrap_or_else(|e| crate::exit_err(e))
+    }
+
+    /// The binaries' gate: on the no-failure path returns `self`
+    /// untouched; otherwise prints one deterministic
+    /// `FAILED <label>: <reason>` line per failure (spec order, stderr)
+    /// plus a summary, and exits with status 1. Healthy points were still
+    /// simulated and cached — a rerun after the fix only pays for the
+    /// failed points.
+    pub fn or_fail(self) -> SweepOutcome {
+        if self.failures.is_empty() {
+            return self;
+        }
+        for f in &self.failures {
+            eprintln!("FAILED {}: {}", f.label, f.kind);
+        }
+        eprintln!(
+            "{} of {} grid points failed ({} healthy, results cached)",
+            self.failures.len(),
+            self.stats.points,
+            self.outcomes.len(),
+        );
+        std::process::exit(1);
     }
 
     /// Machine-readable rendering of the whole sweep (the `--json` mode).
     ///
     /// Deliberately omits everything run-dependent — thread count, cache
     /// hits, wall clock — so the output is byte-identical whatever the
-    /// parallelism or cache state; those live in the stderr report.
+    /// parallelism or cache state; those live in the stderr report. A
+    /// `failures` array is appended only when something failed, keeping
+    /// the no-failure rendering byte-identical to earlier versions.
     pub fn to_json(&self) -> String {
         let points = self
             .outcomes
@@ -255,7 +437,7 @@ impl SweepOutcome {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut top = vec![
             ("schema".into(), Json::u64_of(cache::SCHEMA_VERSION as u64)),
             (
                 "stats".into(),
@@ -265,8 +447,23 @@ impl SweepOutcome {
                 )]),
             ),
             ("points".into(), Json::Arr(points)),
-        ])
-        .to_string()
+        ];
+        if !self.failures.is_empty() {
+            let failures = self
+                .failures
+                .iter()
+                .map(|f| {
+                    Json::Obj(vec![
+                        ("label".into(), Json::Str(f.label.clone())),
+                        ("class".into(), Json::Str(f.kind.class().to_string())),
+                        ("attempts".into(), Json::u64_of(f.attempts as u64)),
+                        ("reason".into(), Json::Str(f.kind.to_string())),
+                    ])
+                })
+                .collect();
+            top.push(("failures".into(), Json::Arr(failures)));
+        }
+        Json::Obj(top).to_string()
     }
 }
 
@@ -288,7 +485,8 @@ impl Harness {
     }
 
     /// A harness configured from the shared command-line options
-    /// (`--threads`, `--no-cache`, `--cache-dir`).
+    /// (`--threads`, `--no-cache`, `--cache-dir`; `--cache-gc` runs the
+    /// maintenance sweep before the harness is returned).
     pub fn from_opts(opts: &Opts) -> Self {
         let mut h = Self::new(opts.threads);
         if opts.no_cache {
@@ -296,7 +494,24 @@ impl Harness {
         } else if let Some(dir) = &opts.cache_dir {
             h.cache = ResultCache::new(dir).ok();
         }
+        if opts.cache_gc {
+            h.run_cache_gc(opts.cache_cap);
+        }
         h
+    }
+
+    /// Run the `--cache-gc` maintenance sweep: report to stderr on
+    /// success, exit with an error if GC fails or the cache is disabled.
+    /// Binaries with bespoke flag parsing call this directly;
+    /// [`Harness::from_opts`] calls it when `--cache-gc` is set.
+    pub fn run_cache_gc(&self, cap_bytes: u64) {
+        match self.cache.as_ref() {
+            Some(c) => match c.gc(cap_bytes) {
+                Ok(report) => eprintln!("[harness] {report}"),
+                Err(e) => crate::exit_err(format_args!("cache-gc failed: {e}")),
+            },
+            None => crate::exit_err("--cache-gc needs a cache (drop --no-cache)"),
+        }
     }
 
     /// Disables the on-disk cache.
@@ -329,45 +544,100 @@ impl Harness {
 
     fn run_named(&self, name: Option<&str>, spec: &SweepSpec) -> SweepOutcome {
         let t0 = Instant::now();
-        let outcomes = executor::run_indexed(&spec.points, self.threads, |_, point| {
-            let pt0 = Instant::now();
-            let key = point.cache_key();
-            let (results, from_cache) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
-                Some(results) => (results, true),
-                None => {
-                    let results = point.execute();
-                    if let Some(c) = &self.cache {
-                        // a failed store only costs a future re-simulation
-                        let _ = c.store(&key, &results);
-                    }
-                    (results, false)
-                }
-            };
-            PointOutcome {
-                label: point.label.clone(),
-                results,
-                from_cache,
-                millis: pt0.elapsed().as_secs_f64() * 1e3,
-            }
+        let raw = executor::run_indexed(&spec.points, self.threads, |i, point| {
+            self.run_point(i, point)
         });
+        let mut outcomes = Vec::with_capacity(raw.len());
+        let mut failures = Vec::new();
+        for r in raw {
+            match r {
+                Ok(o) => outcomes.push(o),
+                Err(e) => failures.push(e),
+            }
+        }
         let cache_hits = outcomes.iter().filter(|o| o.from_cache).count();
         let stats = SweepStats {
-            points: outcomes.len(),
+            points: spec.points.len(),
             cache_hits,
             sims_run: outcomes.len() - cache_hits,
+            failed: failures.len(),
             wall_millis: t0.elapsed().as_secs_f64() * 1e3,
             threads: self.threads,
         };
         if !self.quiet {
-            self.report(name, &outcomes, &stats);
+            self.report(name, &outcomes, &failures, &stats);
         }
-        SweepOutcome { outcomes, stats }
+        SweepOutcome {
+            outcomes,
+            failures,
+            stats,
+        }
+    }
+
+    /// One grid point, isolated: cache-I/O errors are retried
+    /// ([`CACHE_IO_ATTEMPTS`]); a panic or a typed simulator abort fails
+    /// the point immediately (deterministic — a retry would fail the
+    /// same way).
+    fn run_point(&self, index: usize, point: &GridPoint) -> Result<PointOutcome, PointError> {
+        let pt0 = Instant::now();
+        let key = point.cache_key();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.attempt_point(point, &key) {
+                Ok((results, from_cache)) => {
+                    return Ok(PointOutcome {
+                        label: point.label.clone(),
+                        results,
+                        from_cache,
+                        millis: pt0.elapsed().as_secs_f64() * 1e3,
+                    })
+                }
+                Err(kind) => {
+                    if matches!(kind, FailureKind::CacheIo(_)) && attempts < CACHE_IO_ATTEMPTS {
+                        continue;
+                    }
+                    return Err(PointError {
+                        index,
+                        label: point.label.clone(),
+                        attempts,
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+
+    fn attempt_point(
+        &self,
+        point: &GridPoint,
+        key: &str,
+    ) -> Result<(Vec<RunResult>, bool), FailureKind> {
+        match self.cache.as_ref().map(|c| c.load(key)) {
+            Some(Err(e)) => return Err(FailureKind::CacheIo(e.to_string())),
+            Some(Ok(Some(results))) => return Ok((results, true)),
+            _ => {}
+        }
+        let results = catch_unwind(AssertUnwindSafe(|| point.try_execute()))
+            .map_err(|p| FailureKind::Panic(executor::panic_message(p.as_ref())))?
+            .map_err(FailureKind::Sim)?;
+        if let Some(c) = &self.cache {
+            // a failed store only costs a future re-simulation
+            let _ = c.store(key, &results);
+        }
+        Ok((results, false))
     }
 
     /// Observability: per-point wall clock and the sweep totals, on
     /// stderr so stdout stays byte-identical across thread counts and
     /// cache states.
-    fn report(&self, name: Option<&str>, outcomes: &[PointOutcome], stats: &SweepStats) {
+    fn report(
+        &self,
+        name: Option<&str>,
+        outcomes: &[PointOutcome],
+        failures: &[PointError],
+        stats: &SweepStats,
+    ) {
         let prefix = name.map_or_else(|| "harness".to_string(), |n| format!("harness:{n}"));
         for o in outcomes {
             eprintln!(
@@ -377,14 +647,28 @@ impl Harness {
                 if o.from_cache { "cached" } else { "simulated" }
             );
         }
+        for f in failures {
+            eprintln!(
+                "[{prefix}] {:<32} FAILED after {} attempt{}: {}",
+                f.label,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+                f.kind
+            );
+        }
         eprintln!(
-            "[{prefix}] {} points in {:.2}s on {} thread{}: {} cached, {} simulated{}",
+            "[{prefix}] {} points in {:.2}s on {} thread{}: {} cached, {} simulated{}{}",
             stats.points,
             stats.wall_millis / 1e3,
             stats.threads,
             if stats.threads == 1 { "" } else { "s" },
             stats.cache_hits,
             stats.sims_run,
+            if stats.failed > 0 {
+                format!(", {} FAILED", stats.failed)
+            } else {
+                String::new()
+            },
             if self.cache.is_none() {
                 " (cache disabled)"
             } else {
@@ -425,9 +709,21 @@ mod tests {
         let out = h.run(&tiny_spec());
         let labels: Vec<&str> = out.outcomes.iter().map(|o| o.label.as_str()).collect();
         assert_eq!(labels, ["libquantum/base", "mcf/base"]);
-        assert!(out.result("mcf/base").instructions >= 2_000);
+        assert!(out.try_result("mcf/base").unwrap().instructions >= 2_000);
         assert_eq!(out.stats.sims_run, 2);
         assert_eq!(out.stats.cache_hits, 0);
+        assert_eq!(out.stats.failed, 0);
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn missing_label_is_a_typed_error() {
+        let h = Harness::new(1).without_cache().quiet();
+        let out = h.run(&tiny_spec());
+        let err = out.try_result("nonexistent/label").unwrap_err();
+        assert!(!err.failed);
+        assert!(err.to_string().contains("no grid point labelled"));
+        assert!(out.try_results("also/missing").is_err());
     }
 
     #[test]
@@ -471,6 +767,8 @@ mod tests {
         let out = h.run(&tiny_spec());
         let doc = Json::parse(&out.to_json()).expect("valid json");
         assert_eq!(doc.get("stats").unwrap().get("points").unwrap().as_u64(), Some(2));
+        // no failures → no failures key (byte-identical no-failure path)
+        assert!(doc.get("failures").is_none());
         match doc.get("points").unwrap() {
             Json::Arr(points) => {
                 assert_eq!(points.len(), 2);

@@ -18,13 +18,21 @@ pub mod harness;
 pub mod opts;
 
 pub use harness::{
-    Experiment, GridPoint, Harness, PointOutcome, SweepOutcome, SweepSpec, SweepStats,
+    Experiment, FailureKind, GridPoint, Harness, MissingPoint, PointError, PointOutcome,
+    SweepOutcome, SweepSpec, SweepStats,
 };
-pub use opts::{usage, Opts, OptsError};
+pub use opts::{parse_bytes, usage, Opts, OptsError};
 
 use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
 use bfetch_stats::geomean;
 use bfetch_workloads::{kernels, Kernel};
+
+/// The binaries' terminal error path: prints `error: <e>` to stderr and
+/// exits with status 1 (stdout stays clean for the figure tables).
+pub fn exit_err(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
 
 /// Runs `kernel` under `cfg` directly (no cache, current thread) and
 /// returns the result. Prefer building a [`SweepSpec`] and using the
@@ -47,14 +55,14 @@ pub fn speedup_grid(
     let mut cfgs: Vec<(&str, SimConfig)> = vec![("base", opts.config(PrefetcherKind::None))];
     cfgs.extend(columns.iter().map(|(n, c)| (*n, c.clone())));
     spec.push_grid(&kernels, &cfgs, opts.instructions, opts.scale);
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
     kernels
         .iter()
         .map(|k| {
-            let base = out.result(&format!("{}/base", k.name)).ipc();
+            let base = out.require(&format!("{}/base", k.name)).ipc();
             let vals = columns
                 .iter()
-                .map(|(n, _)| out.result(&format!("{}/{}", k.name, n)).ipc() / base)
+                .map(|(n, _)| out.require(&format!("{}/{}", k.name, n)).ipc() / base)
                 .collect();
             (k.name, vals)
         })
@@ -177,18 +185,18 @@ pub fn mix_weighted_speedups_n(
             ));
         }
     }
-    let out = harness.run(&spec);
+    let out = harness.run(&spec).or_fail();
 
     mixes
         .iter()
         .map(|m| {
             let ws: Vec<f64> = (0..all_kinds.len())
                 .map(|i| {
-                    let results = out.results(&format!("mix/{}/{}", m.name, i));
+                    let results = out.require_all(&format!("mix/{}/{}", m.name, i));
                     let pairs: Vec<(f64, f64)> = results
                         .iter()
                         .zip(m.members.iter())
-                        .map(|(r, k)| (r.ipc(), out.result(&format!("solo/{}", k.name)).ipc()))
+                        .map(|(r, k)| (r.ipc(), out.require(&format!("solo/{}", k.name)).ipc()))
                         .collect();
                     bfetch_stats::weighted_speedup(&pairs)
                 })

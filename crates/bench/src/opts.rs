@@ -25,6 +25,13 @@ pub struct Opts {
     pub no_cache: bool,
     /// Result cache directory override (default `results/cache/`).
     pub cache_dir: Option<PathBuf>,
+    /// Run the cache maintenance sweep (`ResultCache::gc`) before the
+    /// sweep: removes stranded temp files, quarantined and stale-schema
+    /// entries, then LRU-evicts down to `cache_cap` bytes.
+    pub cache_gc: bool,
+    /// Byte cap enforced by `--cache-gc` (default 512 MiB; `--cache-cap`
+    /// accepts a plain byte count or a K/M/G suffix).
+    pub cache_cap: u64,
     /// Restrict kernel sweeps to this subset (`--kernels a,b,c`).
     pub kernels: Option<Vec<String>>,
     /// Write a JSONL lifecycle trace here (binaries that support tracing;
@@ -76,6 +83,8 @@ impl Default for Opts {
             json: false,
             no_cache: false,
             cache_dir: None,
+            cache_gc: false,
+            cache_cap: 512 * 1024 * 1024,
             kernels: None,
             trace: None,
             timeline: None,
@@ -85,6 +94,18 @@ impl Default for Opts {
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a byte count with an optional K/M/G suffix (binary multiples,
+/// case-insensitive): `"4096"`, `"64K"`, `"512M"`, `"2G"`.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1024u64),
+        b'm' | b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'g' | b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
 }
 
 /// The flag reference shared by all binaries.
@@ -100,6 +121,9 @@ pub fn usage() -> String {
          \x20 --json                   machine-readable JSON results on stdout\n\
          \x20 --no-cache               bypass the on-disk result cache\n\
          \x20 --cache-dir PATH         result cache location (default results/cache)\n\
+         \x20 --cache-gc               sweep the cache first: drop stranded/stale/corrupt\n\
+         \x20                          entries, then LRU-evict down to --cache-cap\n\
+         \x20 --cache-cap BYTES        byte cap for --cache-gc (default 512M; K/M/G ok)\n\
          \x20 --trace PATH             write a JSONL lifecycle trace (tracing binaries)\n\
          \x20 --timeline PATH          write an interval timeline, JSONL or .csv (CPI binaries)\n\
          \x20 --help, -h               this message\n\
@@ -154,6 +178,12 @@ impl Opts {
                 "--json" => o.json = true,
                 "--no-cache" => o.no_cache = true,
                 "--cache-dir" => o.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--cache-gc" => o.cache_gc = true,
+                "--cache-cap" => {
+                    let v = value("--cache-cap")?;
+                    o.cache_cap =
+                        parse_bytes(&v).ok_or(OptsError::BadValue("--cache-cap", v))?;
+                }
                 "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
                 "--timeline" => o.timeline = Some(PathBuf::from(value("--timeline")?)),
                 "--help" | "-h" => return Err(OptsError::HelpRequested),
@@ -279,6 +309,28 @@ mod tests {
             Err(OptsError::UnknownKernel("nonesuch".into()))
         );
         assert_eq!(parse(&["--help"]), Err(OptsError::HelpRequested));
+    }
+
+    #[test]
+    fn cache_gc_flags_parse() {
+        let o = parse(&["--cache-gc"]).unwrap();
+        assert!(o.cache_gc);
+        assert_eq!(o.cache_cap, 512 * 1024 * 1024);
+        let o = parse(&["--cache-gc", "--cache-cap", "4096"]).unwrap();
+        assert_eq!(o.cache_cap, 4096);
+        assert_eq!(parse(&["--cache-cap", "64K"]).unwrap().cache_cap, 64 * 1024);
+        assert_eq!(
+            parse(&["--cache-cap", "2g"]).unwrap().cache_cap,
+            2 * 1024 * 1024 * 1024
+        );
+        assert!(matches!(
+            parse(&["--cache-cap", "lots"]),
+            Err(OptsError::BadValue("--cache-cap", _))
+        ));
+        assert!(matches!(
+            parse(&["--cache-cap"]),
+            Err(OptsError::MissingValue("--cache-cap"))
+        ));
     }
 
     #[test]

@@ -317,6 +317,16 @@ impl MemorySystem {
         &self.dram
     }
 
+    /// Live demand-MSHR entries for `core` (watchdog diagnostics).
+    pub fn mshr_live(&self, core: usize) -> usize {
+        self.mshr[core].len()
+    }
+
+    /// Live prefetch-MSHR entries for `core` (watchdog diagnostics).
+    pub fn pf_mshr_live(&self, core: usize) -> usize {
+        self.pf_mshr[core].len()
+    }
+
     /// The shared L3 (for occupancy/statistics inspection).
     pub fn l3(&self) -> &SetAssocCache {
         &self.l3

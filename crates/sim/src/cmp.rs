@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::core::{Core, CoreCounters};
+use crate::error::{DiagSnapshot, SimError};
 use bfetch_core::EngineStats;
 use bfetch_isa::Program;
 use bfetch_mem::{MemStats, MemorySystem};
@@ -182,16 +183,67 @@ fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
 /// # Panics
 ///
 /// Panics if `programs` is empty or the simulation fails to make forward
-/// progress.
+/// progress ([`try_run_multi`] surfaces those failures as typed
+/// [`SimError`]s instead).
 pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
-    run_multi_impl(programs, cfg, insts).0
+    try_run_multi(programs, cfg, insts).unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn run_multi_impl(
+/// Like [`run_multi`], but a watchdog abort or exhausted cycle budget
+/// comes back as a [`SimError`] value instead of a panic, so batch
+/// harnesses can report the failure and keep sweeping.
+pub fn try_run_multi(
     programs: &[Program],
     cfg: &SimConfig,
     insts: u64,
-) -> (Vec<RunResult>, Option<TraceSink>, Vec<TimelineSample>) {
+) -> Result<Vec<RunResult>, SimError> {
+    try_run_multi_impl(programs, cfg, insts).map(|t| t.0)
+}
+
+/// Single-program convenience wrapper around [`try_run_multi`].
+pub fn try_run_single(program: &Program, cfg: &SimConfig, insts: u64) -> Result<RunResult, SimError> {
+    try_run_multi(std::slice::from_ref(program), cfg, insts)
+        .map(|mut v| v.pop().expect("one result"))
+}
+
+// Deterministic fault injection (see `FaultInjection`): fires once any
+// core's total committed count crosses a trigger. Only called when a
+// trigger is armed, so production runs never pay for the scan.
+fn check_faults(cfg: &SimConfig, cores: &[Core], frozen: &mut bool) {
+    let f = &cfg.fault;
+    if f.panic_at_insts > 0 {
+        for c in cores {
+            let done = c.counters().committed;
+            if done >= f.panic_at_insts {
+                panic!(
+                    "injected fault: core panicked after {done} committed instructions \
+                     (panic_at_insts={})",
+                    f.panic_at_insts
+                );
+            }
+        }
+    }
+    if f.freeze_at_insts > 0 && cores.iter().any(|c| c.counters().committed >= f.freeze_at_insts) {
+        *frozen = true;
+    }
+}
+
+fn snapshot_cores(cores: &[Core], mem: &MemorySystem, now: u64) -> DiagSnapshot {
+    DiagSnapshot {
+        cycle: now,
+        cores: cores.iter().map(|c| c.diag(mem)).collect(),
+    }
+}
+
+/// Everything one CMP run produces: per-core results, the optional
+/// lifecycle trace, and the interval timeline.
+type RunOutput = (Vec<RunResult>, Option<TraceSink>, Vec<TimelineSample>);
+
+fn try_run_multi_impl(
+    programs: &[Program],
+    cfg: &SimConfig,
+    insts: u64,
+) -> Result<RunOutput, SimError> {
     assert!(!programs.is_empty(), "need at least one program");
     assert!(insts > 0, "need a nonzero instruction quota");
     let n = programs.len();
@@ -203,12 +255,33 @@ fn run_multi_impl(
         .collect();
 
     let mut now: u64 = 0;
-    let hard_cap: u64 = (cfg.warmup_insts + insts) * 600 + 4_000_000;
+    let hard_cap: u64 = if cfg.max_cycles > 0 {
+        cfg.max_cycles
+    } else {
+        (cfg.warmup_insts + insts) * 600 + 4_000_000
+    };
+    // Forward-progress watchdog: one compare per cycle against a deadline;
+    // the (more expensive) committed-total sum is recomputed only when the
+    // deadline passes, so a stall is caught within [wd, 2*wd] cycles.
+    let wd = cfg.watchdog_cycles;
+    let mut wd_deadline: u64 = if wd > 0 { wd } else { u64::MAX };
+    let mut wd_committed: u64 = 0;
+    // Fault injection (testing only): `fault_on` is false in production
+    // configs, keeping the per-cycle loop on its branchless-per-core path.
+    let fault_on = cfg.fault.active();
+    let mut frozen = false;
 
     // ---- warmup ----
     loop {
-        for c in cores.iter_mut() {
-            c.cycle(now, &mut mem);
+        if !fault_on {
+            for c in cores.iter_mut() {
+                c.cycle(now, &mut mem);
+            }
+        } else if !frozen {
+            for c in cores.iter_mut() {
+                c.cycle(now, &mut mem);
+            }
+            check_faults(cfg, &cores, &mut frozen);
         }
         mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
         now += 1;
@@ -218,7 +291,25 @@ fn run_multi_impl(
         {
             break;
         }
-        assert!(now < hard_cap, "warmup did not converge");
+        if now >= wd_deadline {
+            let total: u64 = cores.iter().map(|c| c.counters().committed).sum();
+            if total == wd_committed {
+                return Err(SimError::Watchdog {
+                    cycle: now,
+                    idle_cycles: wd,
+                    snapshot: snapshot_cores(&cores, &mem, now),
+                });
+            }
+            wd_committed = total;
+            wd_deadline = now + wd;
+        }
+        if now >= hard_cap {
+            return Err(SimError::CycleBudget {
+                phase: "warmup",
+                cycle: now,
+                limit: hard_cap,
+            });
+        }
     }
 
     // The tracer is installed *after* warmup so the event stream and the
@@ -259,8 +350,15 @@ fn run_multi_impl(
     let mut remaining = n;
 
     while remaining > 0 {
-        for c in cores.iter_mut() {
-            c.cycle(now, &mut mem);
+        if !fault_on {
+            for c in cores.iter_mut() {
+                c.cycle(now, &mut mem);
+            }
+        } else if !frozen {
+            for c in cores.iter_mut() {
+                c.cycle(now, &mut mem);
+            }
+            check_faults(cfg, &cores, &mut frozen);
         }
         mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
         now += 1;
@@ -296,7 +394,28 @@ fn run_multi_impl(
                 remaining -= 1;
             }
         }
-        assert!(now < hard_cap, "measurement did not converge");
+        if remaining == 0 {
+            break;
+        }
+        if now >= wd_deadline {
+            let total: u64 = cores.iter().map(|c| c.counters().committed).sum();
+            if total == wd_committed {
+                return Err(SimError::Watchdog {
+                    cycle: now,
+                    idle_cycles: wd,
+                    snapshot: snapshot_cores(&cores, &mem, now),
+                });
+            }
+            wd_committed = total;
+            wd_deadline = now + wd;
+        }
+        if now >= hard_cap {
+            return Err(SimError::CycleBudget {
+                phase: "measurement",
+                cycle: now,
+                limit: hard_cap,
+            });
+        }
     }
 
     let results = finished
@@ -308,7 +427,7 @@ fn run_multi_impl(
     // unwrap the shared sink without copying it.
     drop(cores);
     drop(mem);
-    (results, tracer.and_then(|t| t.finish()), timeline)
+    Ok((results, tracer.and_then(|t| t.finish()), timeline))
 }
 
 /// Runs a single program to `insts` measured instructions.
@@ -327,7 +446,8 @@ pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
 pub fn run_multi_traced(programs: &[Program], cfg: &SimConfig, insts: u64) -> TracedRun {
     let mut cfg = cfg.clone();
     cfg.trace.enabled = true;
-    let (results, sink, _) = run_multi_impl(programs, &cfg, insts);
+    let (results, sink, _) =
+        try_run_multi_impl(programs, &cfg, insts).unwrap_or_else(|e| panic!("{e}"));
     let sink = sink.expect("tracing was forced on");
     let (events, mut lifecycle) = sink.into_parts();
     // A core that never emitted an event has no per-core slot yet; pad so
@@ -368,7 +488,8 @@ pub struct CpiRun {
 pub fn run_multi_cpi(programs: &[Program], cfg: &SimConfig, insts: u64) -> CpiRun {
     let mut cfg = cfg.clone();
     cfg.cpi.enabled = true;
-    let (results, _, timeline) = run_multi_impl(programs, &cfg, insts);
+    let (results, _, timeline) =
+        try_run_multi_impl(programs, &cfg, insts).unwrap_or_else(|e| panic!("{e}"));
     CpiRun { results, timeline }
 }
 
@@ -662,6 +783,77 @@ mod tests {
         }
         assert!(run.timeline.iter().any(|s| s.core == 0));
         assert!(run.timeline.iter().any(|s| s.core == 1));
+    }
+
+    #[test]
+    fn watchdog_catches_injected_livelock() {
+        let p = stream_kernel(16 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::None);
+        cfg.watchdog_cycles = 2_000;
+        cfg.fault.freeze_at_insts = 4_000;
+        let err = try_run_single(&p, &cfg, 10_000).expect_err("frozen run must abort");
+        match &err {
+            crate::SimError::Watchdog {
+                idle_cycles,
+                snapshot,
+                ..
+            } => {
+                assert_eq!(*idle_cycles, 2_000);
+                assert_eq!(snapshot.cores.len(), 1);
+                assert!(snapshot.cores[0].committed >= 4_000);
+            }
+            other => panic!("expected watchdog, got {other}"),
+        }
+        // deterministic: same config, same abort
+        let err2 = try_run_single(&p, &cfg, 10_000).expect_err("still aborts");
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn cycle_budget_is_a_typed_error_when_watchdog_off() {
+        let p = stream_kernel(16 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::None);
+        cfg.watchdog_cycles = 0; // force the budget to be the backstop
+        cfg.max_cycles = 30_000;
+        cfg.fault.freeze_at_insts = 4_000;
+        let err = try_run_single(&p, &cfg, 10_000).expect_err("frozen run must abort");
+        assert!(
+            matches!(
+                err,
+                crate::SimError::CycleBudget {
+                    limit: 30_000,
+                    ..
+                }
+            ),
+            "expected budget error, got {err}"
+        );
+    }
+
+    #[test]
+    fn injected_panic_fires_deterministically() {
+        let p = stream_kernel(16 * 1024);
+        let mut cfg = quick_cfg(PrefetcherKind::None);
+        cfg.fault.panic_at_insts = 3_000;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_run_single(&p, &cfg, 10_000)
+        }))
+        .expect_err("injection must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault"), "panic message: {msg}");
+    }
+
+    #[test]
+    fn watchdog_default_does_not_perturb_healthy_runs() {
+        let p = stream_kernel(16 * 1024);
+        let cfg = quick_cfg(PrefetcherKind::Stride);
+        let mut off = cfg.clone();
+        off.watchdog_cycles = 0;
+        let a = run_single(&p, &cfg, 10_000);
+        let b = run_single(&p, &off, 10_000);
+        assert_eq!(a, b, "watchdog must only observe");
     }
 
     #[test]

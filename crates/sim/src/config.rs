@@ -50,6 +50,31 @@ impl PrefetcherKind {
     }
 }
 
+/// Deterministic fault injection for robustness testing: make the
+/// simulator panic or stop committing at a chosen instruction count.
+///
+/// Both triggers compare against a core's *total* committed instructions
+/// (warmup included), so a fault can be planted in either phase. The
+/// default (`0`/`0`) disables injection entirely and keeps the cycle loop
+/// on its fault-free fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultInjection {
+    /// Panic once any core has committed this many instructions
+    /// (0 = never). Exercises the harness's `catch_unwind` isolation.
+    pub panic_at_insts: u64,
+    /// Freeze every core (stop cycling them) once any core has committed
+    /// this many instructions (0 = never). With the watchdog on this
+    /// yields `SimError::Watchdog`; with it off, `SimError::CycleBudget`.
+    pub freeze_at_insts: u64,
+}
+
+impl FaultInjection {
+    /// Whether any trigger is armed.
+    pub fn active(&self) -> bool {
+        self.panic_at_insts > 0 || self.freeze_at_insts > 0
+    }
+}
+
 /// Full system configuration. [`SimConfig::baseline`] reproduces Table II.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -118,6 +143,20 @@ pub struct SimConfig {
     /// default; enabled after warmup so the stack covers exactly the
     /// measurement window).
     pub cpi: CpiConfig,
+    /// Forward-progress watchdog: abort with
+    /// [`SimError::Watchdog`](crate::SimError::Watchdog) if no core
+    /// commits an instruction for this many cycles (0 = off). On by
+    /// default; costs one compare per cycle. A stall is detected within
+    /// one-to-two multiples of this threshold (the committed total is
+    /// re-checked every `watchdog_cycles`, not every cycle).
+    pub watchdog_cycles: u64,
+    /// Hard per-run cycle budget, surfaced as
+    /// [`SimError::CycleBudget`](crate::SimError::CycleBudget) when
+    /// exhausted (0 = derive from the instruction quota, the historical
+    /// behaviour: `(warmup + insts) * 600 + 4_000_000`).
+    pub max_cycles: u64,
+    /// Deterministic fault injection (testing only; defaults off).
+    pub fault: FaultInjection,
 }
 
 impl SimConfig {
@@ -157,6 +196,9 @@ impl SimConfig {
             warmup_insts: 50_000,
             trace: TraceConfig::default(),
             cpi: CpiConfig::default(),
+            watchdog_cycles: 1_000_000,
+            max_cycles: 0,
+            fault: FaultInjection::default(),
         }
     }
 
@@ -228,6 +270,24 @@ impl SimConfig {
     /// Baseline with CPI-stack accounting configured (see `bfetch-stats`).
     pub fn with_cpi(mut self, cpi: CpiConfig) -> Self {
         self.cpi = cpi;
+        self
+    }
+
+    /// Baseline with a different watchdog threshold (0 disables it).
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Baseline with an explicit hard cycle budget (0 = derived default).
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Baseline with deterministic fault injection armed (testing only).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -327,6 +387,24 @@ mod tests {
         let c = SimConfig::baseline().with_cpi(CpiConfig::on());
         assert!(c.cpi.enabled);
         assert!(c.cpi.timeline_interval > 0);
+    }
+
+    #[test]
+    fn watchdog_defaults_on_and_fault_defaults_off() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.watchdog_cycles, 1_000_000);
+        assert_eq!(c.max_cycles, 0);
+        assert!(!c.fault.active());
+        let c = c
+            .with_watchdog(500)
+            .with_max_cycles(9_999)
+            .with_fault(FaultInjection {
+                panic_at_insts: 3,
+                freeze_at_insts: 0,
+            });
+        assert_eq!(c.watchdog_cycles, 500);
+        assert_eq!(c.max_cycles, 9_999);
+        assert!(c.fault.active());
     }
 
     #[test]

@@ -296,6 +296,28 @@ impl Core {
             .map_or(0, |p| p.metadata_traffic_bytes())
     }
 
+    /// Captures this core's machine state for a watchdog abort report:
+    /// where the pipeline is wedged (ROB head, prefetch queues, MSHRs,
+    /// frontend stall), cheap enough to take once per abort.
+    pub fn diag(&self, mem: &MemorySystem) -> crate::error::CoreDiag {
+        crate::error::CoreDiag {
+            core: self.id,
+            committed: self.counters.committed,
+            rob_len: self.rob.len(),
+            rob_head: self.rob.front().map(|h| crate::error::RobHeadDiag {
+                seq: h.seq,
+                pc: h.pc,
+                scheduled: h.scheduled,
+                complete_at: h.complete_at,
+            }),
+            pf_queue_len: self.pf_queue.len(),
+            engine_queue_len: self.engine.as_ref().map(|e| e.queue_len()),
+            mshr_live: mem.mshr_live(self.id),
+            pf_mshr_live: mem.pf_mshr_live(self.id),
+            fetch_stall_until: self.fetch_stall_until,
+        }
+    }
+
     /// Routes L1D prefetch-usefulness feedback into the per-load filter.
     pub fn feedback(&mut self, pc_hash: u16, useful: bool) {
         if let Some(e) = self.engine.as_mut() {

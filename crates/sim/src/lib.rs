@@ -33,14 +33,16 @@ pub mod cmp;
 pub mod config;
 pub mod core;
 pub mod energy;
+pub mod error;
 pub mod ports;
 
 pub use analysis::{delta_cdfs, DeltaCdfs};
 pub use bfetch_stats::{CpiComponent, CpiConfig, CpiStack, TimelineSample, TraceConfig};
 pub use cmp::{
     run_multi, run_multi_cpi, run_multi_traced, run_single, run_single_cpi, run_single_traced,
-    CpiRun, RunResult, TracedRun,
+    try_run_multi, try_run_single, CpiRun, RunResult, TracedRun,
 };
-pub use config::{PredictorKind, PrefetcherKind, SimConfig};
+pub use config::{FaultInjection, PredictorKind, PrefetcherKind, SimConfig};
+pub use error::{CoreDiag, DiagSnapshot, RobHeadDiag, SimError};
 pub use core::{Core, CoreCounters};
 pub use energy::{EnergyParams, EnergyReport};

@@ -29,7 +29,7 @@ pub struct Kernel {
     /// Frequency-of-access score used by the FOA mix selection (higher =
     /// more off-core memory traffic; calibrated from solo profiling runs).
     pub foa: f64,
-    build: fn(Scale) -> Program,
+    pub(crate) build: fn(Scale) -> Program,
 }
 
 impl Kernel {

@@ -29,10 +29,12 @@
 //! assert!(p.len() > 0);
 //! ```
 
+pub mod faults;
 pub mod kernels;
 pub mod mix;
 pub mod stressors;
 
+pub use faults::{FaultKernel, FaultMode, FAULT_KERNEL};
 pub use kernels::{kernel_by_name, kernels, Kernel, Scale};
 pub use mix::{select_mixes, Mix, NUM_MIXES};
 pub use stressors::icache_stressor;

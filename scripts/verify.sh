@@ -10,8 +10,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: release build"
-cargo build --release
+echo "==> tier-1: release build (whole workspace: the root package does
+#   not depend on bfetch-bench, so a bare 'cargo build' would leave the
+#   harness binaries used below stale or missing)"
+cargo build --release --workspace
 
 echo "==> tier-1: root package tests"
 cargo test -q
@@ -49,5 +51,21 @@ $BIN $ARGS --threads 4 >"$CACHE/cached.txt" 2>"$CACHE/cached.err"
 cmp "$CACHE/serial.txt" "$CACHE/parallel.txt"
 cmp "$CACHE/serial.txt" "$CACHE/cached.txt"
 grep -q " 0 simulated" "$CACHE/cached.err"
+
+echo "==> fault injection: panic / livelock / runaway isolation end to end"
+cargo test -q -p bfetch-bench --test faults
+
+echo "==> cache GC: stranded tmp + stale schema swept, byte cap enforced"
+printf 'half-written entry' >"$CACHE/deadbeefdeadbeef.json.tmp.99999"
+printf '{"schema":1,"key":"v1|old","results":[]}' >"$CACHE/0123456789abcdef.json"
+$BIN $ARGS --threads 4 --cache-gc --cache-cap 16K >/dev/null 2>"$CACHE/gc.err"
+grep -q "cache-gc:" "$CACHE/gc.err"
+grep -q "1 tmp" "$CACHE/gc.err"
+grep -q "1 stale" "$CACHE/gc.err"
+test ! -e "$CACHE/deadbeefdeadbeef.json.tmp.99999"
+test ! -e "$CACHE/0123456789abcdef.json"
+KEPT=$(sed -n 's/.*cache-gc: kept [0-9]* entries (\([0-9]*\) bytes).*/\1/p' "$CACHE/gc.err")
+[ -n "$KEPT" ] && [ "$KEPT" -le 16384 ] || {
+  echo "GC left $KEPT bytes, cap is 16384"; exit 1; }
 
 echo "verify: OK"

@@ -110,6 +110,71 @@ fn filter_threshold_extremes() {
     }
 }
 
+mod typed_failures {
+    //! Injected faults surface as typed errors through the facade:
+    //! a frozen core trips the watchdog with a diagnostic snapshot, a
+    //! runaway run exhausts the cycle budget, and healthy runs are
+    //! untouched by the (default-on) watchdog.
+
+    use bfetch::sim::{try_run_single, FaultInjection, SimConfig, SimError};
+    use bfetch::workloads::FAULT_KERNEL;
+    use bfetch::workloads::kernel_by_name;
+
+    fn frozen_cfg() -> SimConfig {
+        let mut c = SimConfig::baseline().with_watchdog(2_000);
+        c.warmup_insts = 500;
+        c.fault = FaultInjection {
+            panic_at_insts: 0,
+            freeze_at_insts: 1_000,
+        };
+        c
+    }
+
+    #[test]
+    fn watchdog_reports_a_snapshot_for_a_frozen_core() {
+        let p = FAULT_KERNEL.build_small();
+        let err = try_run_single(&p, &frozen_cfg(), 5_000).unwrap_err();
+        match &err {
+            SimError::Watchdog {
+                idle_cycles,
+                snapshot,
+                ..
+            } => {
+                assert_eq!(*idle_cycles, 2_000);
+                assert_eq!(snapshot.cores.len(), 1);
+                assert!(snapshot.cores[0].committed >= 1_000);
+                let text = err.to_string();
+                assert!(text.contains("watchdog"), "{text}");
+                assert!(text.contains("core 0"), "{text}");
+            }
+            other => panic!("expected watchdog, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_is_the_backstop_when_the_watchdog_is_off() {
+        let cfg = frozen_cfg().with_watchdog(0).with_max_cycles(50_000);
+        let p = FAULT_KERNEL.build_small();
+        match try_run_single(&p, &cfg, 5_000).unwrap_err() {
+            SimError::CycleBudget { limit, cycle, .. } => {
+                assert_eq!(limit, 50_000);
+                assert!(cycle >= limit);
+            }
+            other => panic!("expected cycle budget, got {other}"),
+        }
+    }
+
+    #[test]
+    fn healthy_runs_pass_the_default_watchdog_untouched() {
+        let p = kernel_by_name("libquantum").unwrap().build_small();
+        let cfg = SimConfig::baseline();
+        assert_eq!(cfg.watchdog_cycles, 1_000_000, "watchdog defaults on");
+        let r = try_run_single(&p, &cfg, 20_000).expect("healthy run succeeds");
+        let again = bfetch::sim::run_single(&p, &cfg, 20_000);
+        assert_eq!(r.cycles, again.cycles, "fallible and panicking paths agree");
+    }
+}
+
 #[test]
 fn dram_single_line_interval_queueing() {
     let p = kernel_by_name("libquantum").unwrap().build_small();
