@@ -13,7 +13,24 @@
 
 use bfetch_core::BFetchConfig;
 use bfetch_sim::analysis::delta_cdfs;
-use bfetch_sim::{run_multi, run_single, PrefetcherKind, SimConfig};
+use bfetch_isa::Program;
+use bfetch_sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single()
+}
+
+fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run(programs)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .results
+}
 use bfetch_workloads::{kernel_by_name, select_mixes, Scale};
 use std::hint::black_box;
 use std::time::Instant;

@@ -20,7 +20,7 @@
 
 use bfetch_bench::harness::executor::run_indexed;
 use bfetch_bench::{rows_to_json, usage, Opts};
-use bfetch_sim::{run_single_cpi, CpiComponent, CpiStack, PrefetcherKind, TimelineSample};
+use bfetch_sim::{CpiComponent, CpiStack, PrefetcherKind, SimSession, TimelineSample};
 use bfetch_stats::Table;
 use bfetch_workloads::Kernel;
 use std::io::Write;
@@ -118,7 +118,14 @@ fn main() {
         .collect();
     let points: Vec<Point> = run_indexed(&grid, opts.threads, |_, &(k, p)| {
         let program = k.build(opts.scale);
-        let run = run_single_cpi(&program, &opts.config(p), opts.instructions);
+        let run = SimSession::new(opts.config(p))
+            .cpi(true)
+            .instructions(opts.instructions)
+            .run_one(&program)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
         let r = &run.results[0];
         let stack = r.cpi.expect("CPI run must carry a stack");
         // the acceptance invariant, checked on every grid point

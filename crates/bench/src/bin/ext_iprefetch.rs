@@ -10,7 +10,7 @@
 
 use bfetch_bench::harness::executor;
 use bfetch_bench::{rows_to_json, Opts};
-use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
+use bfetch_sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch_stats::Table;
 use bfetch_workloads::icache_stressor;
 
@@ -40,7 +40,14 @@ fn main() {
                 .with_warmup(opts.warmup);
             cfg.bfetch.inst_prefetch = ipf;
             cfg.bfetch.brtc_entries = brtc;
-            run_single(&program, &cfg, opts.instructions)
+            SimSession::new(cfg)
+                .instructions(opts.instructions)
+                .run_one(&program)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                })
+                .into_single()
         });
 
     let base = results[0].ipc();

@@ -9,7 +9,7 @@
 
 use bfetch_bench::harness::executor::run_indexed;
 use bfetch_bench::{rows_to_json, Opts};
-use bfetch_sim::{run_single_traced, PrefetcherKind, TracedRun};
+use bfetch_sim::{PrefetcherKind, SimSession, TracedRun};
 use bfetch_stats::trace::LifecycleCounts;
 use bfetch_stats::Table;
 use std::io::Write;
@@ -24,7 +24,20 @@ fn main() {
     // sweep parallel while the output stays in kernel-registry order.
     let runs: Vec<TracedRun> = run_indexed(&kernels, opts.threads, |_, k| {
         let program = k.build(opts.scale);
-        run_single_traced(&program, &cfg, opts.instructions)
+        let out = SimSession::new(cfg.clone())
+            .trace(true)
+            .instructions(opts.instructions)
+            .run_one(&program)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        let trace = out.trace.expect("tracing was toggled on");
+        TracedRun {
+            results: out.results,
+            events: trace.events,
+            lifecycle: trace.lifecycle,
+        }
     });
 
     if let Some(path) = &opts.trace {

@@ -18,7 +18,7 @@
 
 use bfetch_bench::harness::jsonio::Json;
 use bfetch_bench::{usage, Opts};
-use bfetch_sim::{run_multi, run_single, PrefetcherKind};
+use bfetch_sim::{PrefetcherKind, SimSession};
 use bfetch_stats::Table;
 use bfetch_workloads::kernels;
 use std::path::PathBuf;
@@ -114,7 +114,11 @@ fn main() {
     for k in &selected {
         let program = k.build(opts.scale);
         let t0 = Instant::now();
-        let r = run_single(&program, &cfg, opts.instructions);
+        let r = SimSession::new(cfg.clone())
+            .instructions(opts.instructions)
+            .run_one(&program)
+            .unwrap_or_else(|e| die(&e.to_string()))
+            .into_single();
         let wall_s = t0.elapsed().as_secs_f64();
         total_cycles += r.cycles;
         total_wall += wall_s;
@@ -123,17 +127,42 @@ fn main() {
 
     // 8-core mix: the first eight registry kernels sharing one hierarchy.
     // Sum of per-core measured cycles over one wall clock, i.e. aggregate
-    // core-cycles/sec — the CMP figures' unit of work.
+    // core-cycles/sec — the CMP figures' unit of work. Timed once per
+    // worker-thread count: the parallel engine is byte-identical for every
+    // count (asserted below), so the sweep isolates the wall-clock effect
+    // of threading on this host.
     let mix_members: Vec<&bfetch_workloads::Kernel> = kernels().iter().take(8).collect();
     let mix_insts = if quick { 15_000 } else { opts.instructions.min(120_000) };
     let mix_warmup = if quick { 8_000 } else { opts.warmup.min(60_000) };
     let mix_cfg = cfg.clone().with_warmup(mix_warmup);
     let programs: Vec<_> = mix_members.iter().map(|k| k.build(opts.scale)).collect();
-    let t0 = Instant::now();
-    let results = run_multi(&programs, &mix_cfg, mix_insts);
+    let mut mix_threads: Vec<(usize, Sample)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // force_os_threads: report what the requested width actually costs
+        // on this host, even when it exceeds the available cores.
+        let mut tc = mix_cfg.clone().with_threads(threads);
+        tc.force_os_threads = threads > 1;
+        let t0 = Instant::now();
+        let results = SimSession::new(tc)
+            .instructions(mix_insts)
+            .run(&programs)
+            .unwrap_or_else(|e| die(&e.to_string()))
+            .results;
+        let sample = Sample {
+            cycles: results.iter().map(|r| r.cycles).sum(),
+            wall_s: t0.elapsed().as_secs_f64(),
+        };
+        if let Some((_, first)) = mix_threads.first() {
+            assert_eq!(
+                first.cycles, sample.cycles,
+                "parallel engine diverged from sequential at {threads} threads"
+            );
+        }
+        mix_threads.push((threads, sample));
+    }
     let mix = Sample {
-        cycles: results.iter().map(|r| r.cycles).sum(),
-        wall_s: t0.elapsed().as_secs_f64(),
+        cycles: mix_threads[0].1.cycles,
+        wall_s: mix_threads[0].1.wall_s,
     };
     total_cycles += mix.cycles;
     total_wall += mix.wall_s;
@@ -149,12 +178,17 @@ fn main() {
         "wall s".into(),
         "Mcyc/s".into(),
     ]);
-    for (name, s) in per_kernel.iter().chain(std::iter::once(&("mix8", Sample {
-        cycles: mix.cycles,
-        wall_s: mix.wall_s,
-    }))) {
+    for (name, s) in per_kernel.iter() {
         t.row(vec![
             name.to_string(),
+            s.cycles.to_string(),
+            format!("{:.3}", s.wall_s),
+            format!("{:.3}", s.rate() / 1e6),
+        ]);
+    }
+    for (threads, s) in &mix_threads {
+        t.row(vec![
+            format!("mix8 (j={threads})"),
             s.cycles.to_string(),
             format!("{:.3}", s.wall_s),
             format!("{:.3}", s.rate() / 1e6),
@@ -185,6 +219,15 @@ fn main() {
         ("warmup".into(), Json::u64_of(opts.warmup)),
         ("kernels".into(), Json::Obj(kernels_json)),
         ("mix8".into(), mix.to_json()),
+        (
+            "mix8_threads".into(),
+            Json::Obj(
+                mix_threads
+                    .iter()
+                    .map(|(threads, s)| (threads.to_string(), s.to_json()))
+                    .collect(),
+            ),
+        ),
         ("total".into(), total.to_json()),
     ];
     if let Some(rss) = peak_rss_bytes() {

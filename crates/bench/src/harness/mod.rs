@@ -35,7 +35,7 @@ pub mod executor;
 pub mod jsonio;
 
 use crate::opts::Opts;
-use bfetch_sim::{try_run_multi, try_run_single, FaultInjection, RunResult, SimConfig, SimError};
+use bfetch_sim::{FaultInjection, RunResult, SimConfig, SimError, SimSession};
 use bfetch_workloads::faults::{FaultKernel, FaultMode};
 use bfetch_workloads::{Kernel, Scale};
 use cache::ResultCache;
@@ -147,13 +147,11 @@ impl GridPoint {
     /// Runs the simulation for this point (no caching at this level),
     /// surfacing watchdog/budget aborts as values.
     pub fn try_execute(&self) -> Result<Vec<RunResult>, SimError> {
-        if self.members.len() == 1 {
-            let program = self.members[0].build(self.scale);
-            try_run_single(&program, &self.config, self.instructions).map(|r| vec![r])
-        } else {
-            let programs: Vec<_> = self.members.iter().map(|k| k.build(self.scale)).collect();
-            try_run_multi(&programs, &self.config, self.instructions)
-        }
+        let programs: Vec<_> = self.members.iter().map(|k| k.build(self.scale)).collect();
+        SimSession::new(self.config.clone())
+            .instructions(self.instructions)
+            .run(&programs)
+            .map(|out| out.results)
     }
 
     /// Like [`GridPoint::try_execute`], panicking on simulator aborts

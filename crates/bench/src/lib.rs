@@ -23,7 +23,7 @@ pub use harness::{
 };
 pub use opts::{parse_bytes, usage, Opts, OptsError};
 
-use bfetch_sim::{run_single, PrefetcherKind, RunResult, SimConfig};
+use bfetch_sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch_stats::geomean;
 use bfetch_workloads::{kernels, Kernel};
 
@@ -39,7 +39,11 @@ pub fn exit_err(e: impl std::fmt::Display) -> ! {
 /// [`Harness`] for anything beyond a one-off.
 pub fn run_kernel(kernel: &Kernel, cfg: &SimConfig, opts: &Opts) -> RunResult {
     let program = kernel.build(opts.scale);
-    run_single(&program, cfg, opts.instructions)
+    SimSession::new(cfg.clone())
+        .instructions(opts.instructions)
+        .run_one(&program)
+        .unwrap_or_else(|e| exit_err(e))
+        .into_single()
 }
 
 /// Per-kernel speedups of labelled configurations against the

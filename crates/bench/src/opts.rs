@@ -17,8 +17,14 @@ pub struct Opts {
     pub warmup: u64,
     /// Workload scale.
     pub scale: Scale,
-    /// Worker threads for the experiment harness.
+    /// Worker threads for the experiment harness (grid parallelism: how
+    /// many independent simulations run at once).
     pub threads: usize,
+    /// Worker threads *inside* each CMP simulation ([`SimConfig::threads`]):
+    /// cores of one chip stepped in parallel under the deterministic cycle
+    /// barrier. Orthogonal to `threads`; results are identical for any
+    /// value (default 1 = sequential engine).
+    pub sim_threads: usize,
     /// Emit machine-readable JSON results on stdout instead of tables.
     pub json: bool,
     /// Bypass the on-disk result cache entirely.
@@ -80,6 +86,7 @@ impl Default for Opts {
             warmup: 150_000,
             scale: Scale::Full,
             threads: default_threads(),
+            sim_threads: 1,
             json: false,
             no_cache: false,
             cache_dir: None,
@@ -117,6 +124,8 @@ pub fn usage() -> String {
          \x20 --warmup N               warmup instructions per core (default 150000)\n\
          \x20 --small                  reduced workload footprints\n\
          \x20 --threads N, -j N        harness worker threads (default: all cores)\n\
+         \x20 --sim-threads N          worker threads inside each CMP simulation\n\
+         \x20                          (deterministic: results identical for any N; default 1)\n\
          \x20 --kernels a,b,c          restrict kernel sweeps to a subset\n\
          \x20 --json                   machine-readable JSON results on stdout\n\
          \x20 --no-cache               bypass the on-disk result cache\n\
@@ -164,6 +173,14 @@ impl Opts {
                         .ok()
                         .filter(|&n: &usize| n > 0)
                         .ok_or(OptsError::BadValue("--threads", v))?;
+                }
+                "--sim-threads" => {
+                    let v = value("--sim-threads")?;
+                    o.sim_threads = v
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or(OptsError::BadValue("--sim-threads", v))?;
                 }
                 "--kernels" => {
                     let v = value("--kernels")?;
@@ -247,6 +264,7 @@ mod tests {
         assert_eq!(o.warmup, 150_000);
         assert_eq!(o.scale, Scale::Full);
         assert!(o.threads >= 1);
+        assert_eq!(o.sim_threads, 1);
         assert!(!o.json && !o.no_cache);
         assert!(o.kernels.is_none());
         assert!(o.trace.is_none());
@@ -263,6 +281,8 @@ mod tests {
             "--small",
             "--threads",
             "4",
+            "--sim-threads",
+            "2",
             "--kernels",
             "mcf,astar",
             "--json",
@@ -279,6 +299,7 @@ mod tests {
         assert_eq!(o.warmup, 100);
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.threads, 4);
+        assert_eq!(o.sim_threads, 2);
         assert_eq!(o.kernels.as_deref(), Some(&["mcf".to_string(), "astar".to_string()][..]));
         assert!(o.json && o.no_cache);
         assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
@@ -303,6 +324,10 @@ mod tests {
         assert!(matches!(
             parse(&["--threads", "0"]),
             Err(OptsError::BadValue("--threads", _))
+        ));
+        assert!(matches!(
+            parse(&["--sim-threads", "0"]),
+            Err(OptsError::BadValue("--sim-threads", _))
         ));
         assert_eq!(
             parse(&["--kernels", "mcf,nonesuch"]),

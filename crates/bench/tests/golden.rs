@@ -13,7 +13,32 @@
 //!
 //! then review the fixture diff like any other behavioural change.
 
-use bfetch_sim::{run_single, run_single_cpi, run_single_traced, PrefetcherKind, SimConfig};
+use bfetch_sim::{PrefetcherKind, RunOutput, SimConfig, SimSession};
+use bfetch_isa::Program;
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> bfetch_sim::RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single()
+}
+
+fn run_single_cpi(p: &Program, cfg: &SimConfig, insts: u64) -> RunOutput {
+    SimSession::new(cfg.clone())
+        .cpi(true)
+        .instructions(insts)
+        .run_one(p)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn run_single_traced(p: &Program, cfg: &SimConfig, insts: u64) -> RunOutput {
+    SimSession::new(cfg.clone())
+        .trace(true)
+        .instructions(insts)
+        .run_one(p)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 use bfetch_stats::StatsRegistry;
 use bfetch_workloads::{kernel_by_name, Scale};
 use std::path::PathBuf;

@@ -4,7 +4,7 @@
 //! in-process event stream must serialise to parseable JSON.
 
 use bfetch_bench::harness::jsonio::Json;
-use bfetch_sim::{run_single_traced, PrefetcherKind, SimConfig};
+use bfetch_sim::{PrefetcherKind, SimConfig, SimSession};
 use bfetch_workloads::{kernel_by_name, Scale};
 
 /// Every event name the schema defines, with the payload keys each
@@ -56,7 +56,12 @@ fn in_process_event_stream_serialises_to_schema_valid_json() {
     let cfg = SimConfig::baseline()
         .with_prefetcher(PrefetcherKind::BFetch)
         .with_warmup(1_000);
-    let traced = run_single_traced(&kernel.build(Scale::Small), &cfg, 3_000);
+    let out = SimSession::new(cfg)
+        .trace(true)
+        .instructions(3_000)
+        .run_one(&kernel.build(Scale::Small))
+        .unwrap_or_else(|e| panic!("{e}"));
+    let traced = out.trace.expect("tracing was toggled on");
     assert!(!traced.events.is_empty(), "traced run recorded no events");
     let mut names = std::collections::BTreeSet::new();
     for e in &traced.events {

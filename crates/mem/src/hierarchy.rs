@@ -1,10 +1,36 @@
 //! The multi-level CMP memory hierarchy.
 //!
-//! Per-core L1I/L1D/L2 backed by a shared L3 and a bandwidth-limited DRAM
-//! channel (Table II). Fills are installed when they *complete*, not when
-//! they are requested, so prefetch timeliness is modelled: a late prefetch
-//! only shaves the remaining fill latency off the demand access that merges
-//! with it in the MSHRs.
+//! Per-core L1I/L1D/L2 backed by a shared (optionally banked) L3 and a
+//! bandwidth-limited DRAM channel (Table II). Fills are installed when they
+//! *complete*, not when they are requested, so prefetch timeliness is
+//! modelled: a late prefetch only shaves the remaining fill latency off the
+//! demand access that merges with it in the MSHRs.
+//!
+//! # Structure
+//!
+//! The chip is split along the private/shared boundary so the parallel
+//! stepping engine in `bfetch-sim` can hand each worker thread exclusive
+//! ownership of its cores' private state while arbitrating the shared L3
+//! and DRAM in canonical core order:
+//!
+//! * [`CoreMem`] — one core's L1I/L1D/L2, demand and prefetch MSHRs,
+//!   statistics, usefulness feedback, and the pending fills that touch only
+//!   private levels (L2/L3 hits).
+//! * [`SharedMem`] — the banked L3, the DRAM channel, and the pending fills
+//!   that install into the L3 (DRAM-serviced misses).
+//! * [`SharedLevel`] — the trait a [`CoreMem`] uses to reach the shared
+//!   levels on an L2 miss. `SharedMem` implements it directly for
+//!   sequential stepping; the parallel engine interposes a turn-ordered
+//!   gate so cross-core arbitration resolves in core order regardless of
+//!   thread scheduling.
+//! * [`MemorySystem`] — the sequential facade gluing the parts back
+//!   together under the original single-object API.
+//!
+//! Fills carry a per-core *issue sequence* stamp. Shared fills install
+//! their L3 portion in global completion order and are then re-queued onto
+//! the owning core, so each core's L1/L2 installs happen in that core's
+//! issue order — the property that makes the split observation-equivalent
+//! to the old monolithic single-heap design.
 //!
 //! Standalone use constructs a [`MemorySystem`] from a [`HierarchyConfig`]
 //! (usually `HierarchyConfig::baseline(cores)`); simulations built through
@@ -189,6 +215,11 @@ pub struct HierarchyConfig {
     pub l2: CacheConfig,
     /// Shared LLC (*total* capacity, already multiplied by core count).
     pub l3: CacheConfig,
+    /// Number of address-interleaved L3 banks (NUCA-style). Total L3
+    /// capacity is divided evenly across banks; consecutive cache lines
+    /// map to consecutive banks. `1` (the default) is a monolithic LLC and
+    /// is bit-for-bit identical to the pre-banking model.
+    pub l3_banks: usize,
     /// DRAM controller parameters.
     pub dram: DramConfig,
     /// L1D demand MSHR entries per core.
@@ -216,6 +247,7 @@ impl HierarchyConfig {
             l1d: CacheConfig::new(64 * 1024, 8, 2),
             l2: CacheConfig::new(256 * 1024, 8, 10),
             l3: CacheConfig::new(2 * 1024 * 1024 * cores as u64, 16, 20),
+            l3_banks: 1,
             dram: DramConfig::baseline(),
             l1d_mshrs: 4,
             prefetch_buffers: 32,
@@ -224,8 +256,12 @@ impl HierarchyConfig {
     }
 }
 
+/// A scheduled cache fill, installed when its completion cycle arrives.
+///
+/// Constructed only inside this crate; it appears in the [`SharedLevel`]
+/// signature so the turn-ordered parallel gate can forward it.
 #[derive(Debug, Clone, Copy)]
-struct PendingFill {
+pub struct PendingFill {
     complete_at: u64,
     core: usize,
     phys: u64,
@@ -233,83 +269,180 @@ struct PendingFill {
     fill_l2: bool,
     fill_l3: bool,
     is_inst: bool,
+    /// Owning core's monotone issue counter: all of one core's fills
+    /// install into its private levels in issue order, even when the fill
+    /// detours through the shared queue.
+    issue_seq: u64,
 }
 
-/// The chip's memory system: all caches, MSHRs and DRAM, advanced by the
-/// timestamps the timing cores pass in (which must be non-decreasing per
-/// call site within a run).
-#[derive(Debug)]
-pub struct MemorySystem {
-    cfg: HierarchyConfig,
-    l1i: Vec<SetAssocCache>,
-    l1d: Vec<SetAssocCache>,
-    l2: Vec<SetAssocCache>,
-    l3: SetAssocCache,
-    dram: Dram,
-    mshr: Vec<MshrFile>,
-    pf_mshr: Vec<MshrFile>,
-    // (complete_at, seq, slot): `seq` is a monotone issue counter so fills
+/// A slot-recycling priority queue of [`PendingFill`]s ordered by
+/// `(complete_at, seq)`.
+#[derive(Debug, Default)]
+struct FillPool {
+    // (complete_at, seq, slot): `seq` is a monotone counter so fills
     // completing on the same cycle retire in issue order even though slots
     // are recycled through the free list.
-    fills: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    fill_data: Vec<Option<PendingFill>>,
-    fill_free: Vec<u64>,
-    fill_seq: u64,
-    feedback: Vec<PrefetchFeedback>,
-    stats: Vec<MemStats>,
-    tracer: Tracer,
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    data: Vec<Option<PendingFill>>,
+    free: Vec<u64>,
 }
 
-impl MemorySystem {
-    /// Builds the hierarchy.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid cache geometry or a zero core count.
-    pub fn new(cfg: HierarchyConfig) -> Self {
-        assert!(cfg.cores > 0, "need at least one core");
+impl FillPool {
+    fn push(&mut self, seq: u64, fill: PendingFill) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.data[i as usize] = Some(fill);
+                i
+            }
+            None => {
+                self.data.push(Some(fill));
+                (self.data.len() - 1) as u64
+            }
+        };
+        self.heap.push(Reverse((fill.complete_at, seq, slot)));
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<PendingFill> {
+        let &Reverse((t, _seq, slot)) = self.heap.peek()?;
+        if t > now {
+            return None;
+        }
+        self.heap.pop();
+        self.free.push(slot);
+        Some(self.data[slot as usize].take().expect("fill present"))
+    }
+
+    /// Earliest outstanding completion cycle (`u64::MAX` when empty).
+    fn next_due(&self) -> u64 {
+        self.heap.peek().map_or(u64::MAX, |&Reverse((t, _, _))| t)
+    }
+
+    fn mark_used(&mut self, core: usize, line: u64) {
+        for f in self.data.iter_mut().flatten() {
+            if f.core == core && line_of(f.phys) == line {
+                f.meta.used = true;
+            }
+        }
+    }
+}
+
+/// The shared levels as seen from one core on an L2 miss.
+///
+/// [`SharedMem`] implements this directly (sequential stepping); the
+/// parallel engine's turn gate implements it by resolving each call in
+/// canonical core order, which is what makes parallel runs byte-identical
+/// to sequential ones.
+pub trait SharedLevel {
+    /// Walks L3 → DRAM for a line that missed this core's L2; the L3
+    /// lookup starts at `start`. Returns `(complete_at, level, fill_l3)`;
+    /// `fill_l3` is set when the line came from DRAM and must install into
+    /// the L3.
+    fn lower(
+        &mut self,
+        core: usize,
+        phys: u64,
+        start: u64,
+        demand: bool,
+        stats: &mut MemStats,
+    ) -> (u64, HitLevel, bool);
+
+    /// Queues a fill that installs into the shared L3 before completing in
+    /// the owner's private levels.
+    fn schedule_fill(&mut self, fill: PendingFill);
+
+    /// Marks any in-flight shared fill of `line` owned by `core` as used
+    /// (a demand access merged with it; the eventual install must not
+    /// double-report usefulness).
+    fn mark_fill_used(&mut self, core: usize, line: u64);
+}
+
+/// The chip-shared memory levels: banked L3, DRAM channel, and the queue
+/// of fills that install into the L3.
+#[derive(Debug)]
+pub struct SharedMem {
+    cfg: HierarchyConfig,
+    banks: usize,
+    l3: Vec<SetAssocCache>,
+    dram: Dram,
+    fills: FillPool,
+    fill_seq: u64,
+}
+
+impl SharedMem {
+    fn new(cfg: HierarchyConfig) -> Self {
+        let banks = cfg.l3_banks;
+        assert!(banks > 0, "need at least one L3 bank");
+        assert!(
+            cfg.l3.size_bytes.is_multiple_of(banks as u64),
+            "L3 capacity must divide evenly across banks"
+        );
+        let bank_cfg = CacheConfig::new(cfg.l3.size_bytes / banks as u64, cfg.l3.ways, cfg.l3.latency);
         Self {
-            l1i: (0..cfg.cores)
-                .map(|_| SetAssocCache::new(cfg.l1i))
-                .collect(),
-            l1d: (0..cfg.cores)
-                .map(|_| SetAssocCache::new(cfg.l1d))
-                .collect(),
-            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
-            l3: SetAssocCache::new(cfg.l3),
+            banks,
+            l3: (0..banks).map(|_| SetAssocCache::new(bank_cfg)).collect(),
             dram: Dram::new(cfg.dram),
-            mshr: (0..cfg.cores)
-                .map(|_| MshrFile::new(cfg.l1d_mshrs))
-                .collect(),
-            pf_mshr: (0..cfg.cores)
-                .map(|_| MshrFile::new(cfg.prefetch_buffers))
-                .collect(),
-            fills: BinaryHeap::new(),
-            fill_data: Vec::new(),
-            fill_free: Vec::new(),
+            fills: FillPool::default(),
             fill_seq: 0,
-            feedback: Vec::new(),
-            stats: vec![MemStats::default(); cfg.cores],
-            tracer: Tracer::disabled(),
             cfg,
         }
     }
 
-    /// Installs the trace handle shared with the rest of the simulation.
-    /// The memory system is shared by all cores, so it stamps core indices
-    /// explicitly on each event.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+    /// Maps a physical address to `(bank, in-bank address)`. Lines
+    /// interleave across banks at 64 B granularity; the in-bank address
+    /// compacts the line index so every bank uses its full set range. With
+    /// one bank this is the identity.
+    #[inline]
+    fn l3_slot(&self, phys: u64) -> (usize, u64) {
+        let li = phys >> 6;
+        let bank = (li % self.banks as u64) as usize;
+        (bank, ((li / self.banks as u64) << 6) | (phys & 63))
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &HierarchyConfig {
-        &self.cfg
+    /// Inverse of [`Self::l3_slot`] for victim addresses handed back by a
+    /// bank (always line-aligned).
+    #[inline]
+    fn l3_unslot(&self, bank: usize, in_bank: u64) -> u64 {
+        (((in_bank >> 6) * self.banks as u64) + bank as u64) << 6
     }
 
-    /// Per-core statistics.
-    pub fn stats(&self, core: usize) -> &MemStats {
-        &self.stats[core]
+    fn l3_probe(&mut self, phys: u64) -> bool {
+        let (b, a) = self.l3_slot(phys);
+        self.l3[b].probe(a)
+    }
+
+    fn l3_access(&mut self, phys: u64) -> Option<LineMeta> {
+        let (b, a) = self.l3_slot(phys);
+        self.l3[b].access(a)
+    }
+
+    fn l3_mark_dirty(&mut self, phys: u64) {
+        let (b, a) = self.l3_slot(phys);
+        self.l3[b].mark_dirty(a);
+    }
+
+    /// Inserts into the owning bank; the victim (if any) is reported with
+    /// its original physical address.
+    fn l3_insert(&mut self, phys: u64, meta: LineMeta) -> Option<(u64, LineMeta)> {
+        let (b, a) = self.l3_slot(phys);
+        self.l3[b]
+            .insert(a, meta)
+            .map(|(va, vm)| (self.l3_unslot(b, va), vm))
+    }
+
+    /// Handles a (possibly dirty) L3 victim: dirty lines are written back
+    /// to DRAM, consuming channel bandwidth.
+    fn dirty_l3_victim(
+        &mut self,
+        stats: &mut MemStats,
+        victim: Option<(u64, LineMeta)>,
+        now: u64,
+    ) {
+        if let Some((vaddr, vmeta)) = victim {
+            if vmeta.dirty {
+                stats.writebacks += 1;
+                self.dram.request(line_of(vaddr), now);
+            }
+        }
     }
 
     /// The shared DRAM controller (for utilization reporting).
@@ -317,191 +450,211 @@ impl MemorySystem {
         &self.dram
     }
 
-    /// Live demand-MSHR entries for `core` (watchdog diagnostics).
-    pub fn mshr_live(&self, core: usize) -> usize {
-        self.mshr[core].len()
-    }
-
-    /// Live prefetch-MSHR entries for `core` (watchdog diagnostics).
-    pub fn pf_mshr_live(&self, core: usize) -> usize {
-        self.pf_mshr[core].len()
-    }
-
-    /// The shared L3 (for occupancy/statistics inspection).
-    pub fn l3(&self) -> &SetAssocCache {
+    /// The L3 banks (for occupancy/statistics inspection).
+    pub fn l3(&self) -> &[SetAssocCache] {
         &self.l3
     }
+}
 
-    /// Drains and returns pending prefetch-usefulness feedback events.
-    pub fn take_feedback(&mut self) -> Vec<PrefetchFeedback> {
-        std::mem::take(&mut self.feedback)
+impl SharedLevel for SharedMem {
+    fn lower(
+        &mut self,
+        _core: usize,
+        phys: u64,
+        start: u64,
+        demand: bool,
+        stats: &mut MemStats,
+    ) -> (u64, HitLevel, bool) {
+        let t_l3 = start + self.cfg.l3.latency;
+        let l3_hit = if demand {
+            self.l3_access(phys).is_some()
+        } else {
+            let hit = self.l3_probe(phys);
+            if hit {
+                // refresh LRU without polluting demand stats
+                self.l3_insert(phys, LineMeta::default());
+            }
+            hit
+        };
+        if l3_hit {
+            if demand {
+                stats.l3_hits += 1;
+            }
+            return (t_l3, HitLevel::L3, false);
+        }
+        if demand {
+            stats.dram_reqs += 1;
+        }
+        let done = self.dram.request(line_of(phys), t_l3);
+        (done, HitLevel::Dram, true)
     }
 
-    /// Drains pending feedback through a callback, keeping the buffer's
-    /// capacity. The per-cycle path uses this so an idle chip does no heap
-    /// work ([`MemorySystem::take_feedback`] hands the whole vector out and
-    /// forces a fresh allocation on the next event).
+    fn schedule_fill(&mut self, fill: PendingFill) {
+        let seq = self.fill_seq;
+        self.fill_seq += 1;
+        self.fills.push(seq, fill);
+    }
+
+    fn mark_fill_used(&mut self, core: usize, line: u64) {
+        self.fills.mark_used(core, line);
+    }
+}
+
+/// One core's private slice of the memory system: L1I/L1D/L2, MSHRs,
+/// statistics, prefetch-usefulness feedback, and the fills that touch only
+/// private levels.
+///
+/// Timestamps must be non-decreasing across calls for a given run, and the
+/// chip-wide fill drain ([`drain_chip`] or [`MemorySystem::drain`]) must
+/// have been run at the current cycle before an access — fills always
+/// complete strictly in the future, so one drain per cycle suffices.
+#[derive(Debug)]
+pub struct CoreMem {
+    id: usize,
+    cfg: HierarchyConfig,
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    mshr: MshrFile,
+    pf_mshr: MshrFile,
+    fills: FillPool,
+    issue_seq: u64,
+    /// Earliest completion this core has scheduled since the guard last
+    /// collected it (`u64::MAX` when none); feeds [`ChipGuard::note`].
+    sched_min: u64,
+    feedback: Vec<PrefetchFeedback>,
+    stats: MemStats,
+    tracer: Tracer,
+}
+
+impl CoreMem {
+    fn new(id: usize, cfg: HierarchyConfig) -> Self {
+        Self {
+            id,
+            cfg,
+            l1i: SetAssocCache::new(cfg.l1i),
+            l1d: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            mshr: MshrFile::new(cfg.l1d_mshrs),
+            pf_mshr: MshrFile::new(cfg.prefetch_buffers),
+            fills: FillPool::default(),
+            issue_seq: 0,
+            sched_min: u64::MAX,
+            feedback: Vec::new(),
+            stats: MemStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// This core's index on the chip.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// This core's statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Live demand-MSHR entries (watchdog diagnostics).
+    pub fn mshr_live(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Live prefetch-MSHR entries (watchdog diagnostics).
+    pub fn pf_mshr_live(&self) -> usize {
+        self.pf_mshr.len()
+    }
+
+    /// Installs a trace handle for this core's events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains pending feedback through a callback, keeping capacity.
     pub fn drain_feedback(&mut self, mut f: impl FnMut(PrefetchFeedback)) {
         for fb in self.feedback.drain(..) {
             f(fb);
         }
     }
 
+    /// Collects (and resets) the earliest completion cycle scheduled since
+    /// the last collection — the chip guard's update feed.
+    pub fn take_sched_min(&mut self) -> u64 {
+        std::mem::replace(&mut self.sched_min, u64::MAX)
+    }
+
     #[inline]
-    fn translate(core: usize, addr: u64) -> u64 {
-        addr.wrapping_add(core as u64 * CORE_ADDR_STRIDE)
+    fn translate(&self, addr: u64) -> u64 {
+        addr.wrapping_add(self.id as u64 * CORE_ADDR_STRIDE)
     }
 
-    fn schedule_fill(&mut self, fill: PendingFill) {
-        let slot = match self.fill_free.pop() {
-            Some(i) => {
-                self.fill_data[i as usize] = Some(fill);
-                i
-            }
-            None => {
-                self.fill_data.push(Some(fill));
-                (self.fill_data.len() - 1) as u64
-            }
-        };
-        let seq = self.fill_seq;
-        self.fill_seq += 1;
-        self.fills.push(Reverse((fill.complete_at, seq, slot)));
+    fn next_seq(&mut self) -> u64 {
+        let s = self.issue_seq;
+        self.issue_seq += 1;
+        s
     }
 
-    /// Installs every fill that has completed by `now` and retires the
-    /// corresponding MSHR entries.
-    pub fn drain(&mut self, now: u64) {
-        while let Some(&Reverse((t, _seq, slot))) = self.fills.peek() {
-            if t > now {
-                break;
-            }
-            self.fills.pop();
-            let fill = self.fill_data[slot as usize].take().expect("fill present");
-            self.fill_free.push(slot);
-            let core = fill.core;
-            if fill.fill_l3 {
-                let v3 = self.l3.insert(fill.phys, LineMeta::default());
-                self.dirty_l3_victim(core, v3, fill.complete_at);
-            }
-            if fill.fill_l2 {
-                let v2 = self.l2[core].insert(fill.phys, LineMeta::default());
-                self.dirty_l2_victim(core, v2, fill.complete_at);
-            }
-            let evicted = if fill.is_inst {
-                self.l1i[core].insert(fill.phys, LineMeta::default())
-            } else {
-                if fill.meta.prefetched {
-                    self.tracer.emit_for(
-                        core as u32,
-                        fill.complete_at,
-                        TraceKind::PrefetchFilled {
-                            line: line_of(fill.phys),
-                            pc_hash: fill.meta.pc_hash,
-                        },
-                    );
-                }
-                self.l1d[core].insert(fill.phys, fill.meta)
-            };
-            if let Some((vaddr, vmeta)) = evicted {
-                if vmeta.prefetched && !vmeta.used {
-                    self.stats[core].prefetch_useless += 1;
-                    self.tracer.emit_for(
-                        core as u32,
-                        fill.complete_at,
-                        TraceKind::PrefetchEvictedUnused {
-                            line: vaddr,
-                            pc_hash: vmeta.pc_hash,
-                        },
-                    );
-                    self.feedback.push(PrefetchFeedback {
-                        core,
-                        pc_hash: vmeta.pc_hash,
-                        useful: false,
-                    });
-                }
-                if self.cfg.model_writebacks && vmeta.dirty && !fill.is_inst {
-                    self.writeback(core, vaddr, fill.complete_at);
-                }
-            }
-            self.mshr[core].expire(now.min(fill.complete_at));
-            self.pf_mshr[core].expire(now.min(fill.complete_at));
-        }
-        for m in &mut self.mshr {
-            m.expire(now);
-        }
-        for m in &mut self.pf_mshr {
-            m.expire(now);
+    /// Routes a finished fill to the right queue: L3-installing fills
+    /// arbitrate through the shared level, private ones stay local.
+    fn dispatch_fill(&mut self, shared: &mut impl SharedLevel, fill: PendingFill) {
+        self.sched_min = self.sched_min.min(fill.complete_at);
+        if fill.fill_l3 {
+            shared.schedule_fill(fill);
+        } else {
+            self.fills.push(fill.issue_seq, fill);
         }
     }
 
-    /// Walks L2 → L3 → DRAM starting the lookup at `start` and returns
+    /// Walks L2 → shared levels starting the lookup at `start` and returns
     /// `(complete_at, level, fill_l2, fill_l3)`.
     fn lower_levels(
         &mut self,
-        core: usize,
+        shared: &mut impl SharedLevel,
         phys: u64,
         start: u64,
         demand: bool,
     ) -> (u64, HitLevel, bool, bool) {
         let t_l2 = start + self.cfg.l2.latency;
         let l2_hit = if demand {
-            self.l2[core].access(phys).is_some()
+            self.l2.access(phys).is_some()
         } else {
-            let hit = self.l2[core].probe(phys);
+            let hit = self.l2.probe(phys);
             if hit {
                 // refresh LRU without polluting demand stats
-                self.l2[core].insert(phys, LineMeta::default());
+                self.l2.insert(phys, LineMeta::default());
             }
             hit
         };
         if l2_hit {
             if demand {
-                self.stats[core].l2_hits += 1;
+                self.stats.l2_hits += 1;
             }
             return (t_l2, HitLevel::L2, false, false);
         }
-        let t_l3 = t_l2 + self.cfg.l3.latency;
-        let l3_hit = if demand {
-            self.l3.access(phys).is_some()
-        } else {
-            let hit = self.l3.probe(phys);
-            if hit {
-                self.l3.insert(phys, LineMeta::default());
-            }
-            hit
-        };
-        if l3_hit {
-            if demand {
-                self.stats[core].l3_hits += 1;
-            }
-            return (t_l3, HitLevel::L3, true, false);
-        }
-        if demand {
-            self.stats[core].dram_reqs += 1;
-        }
-        let done = self.dram.request(line_of(phys), t_l3);
-        (done, HitLevel::Dram, true, true)
+        let (done, level, fill_l3) = shared.lower(self.id, phys, t_l2, demand, &mut self.stats);
+        (done, level, true, fill_l3)
     }
 
-    /// Performs a demand access for `core` at cycle `now`.
-    ///
-    /// Timestamps must be non-decreasing across calls for a given run.
-    pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
-        self.drain(now);
-        let phys = Self::translate(core, addr);
+    /// Performs a demand access at cycle `now`. The caller is responsible
+    /// for the cycle's chip-wide drain having already run.
+    pub fn access(
+        &mut self,
+        shared: &mut impl SharedLevel,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+    ) -> AccessOutcome {
+        let phys = self.translate(addr);
         let line = line_of(phys);
         let is_inst = kind == AccessKind::InstFetch;
         match kind {
-            AccessKind::InstFetch => self.stats[core].inst_fetches += 1,
-            AccessKind::Load => self.stats[core].loads += 1,
-            AccessKind::Store => self.stats[core].stores += 1,
+            AccessKind::InstFetch => self.stats.inst_fetches += 1,
+            AccessKind::Load => self.stats.loads += 1,
+            AccessKind::Store => self.stats.stores += 1,
         }
 
-        let l1 = if is_inst {
-            &mut self.l1i[core]
-        } else {
-            &mut self.l1d[core]
-        };
+        let l1 = if is_inst { &mut self.l1i } else { &mut self.l1d };
         let l1_latency = if is_inst {
             self.cfg.l1i.latency
         } else {
@@ -512,11 +665,11 @@ impl MemorySystem {
                 l1.mark_dirty(phys);
             }
             if !is_inst {
-                self.stats[core].l1d_hits += 1;
+                self.stats.l1d_hits += 1;
                 if before.prefetched && !before.used {
-                    self.stats[core].prefetch_useful += 1;
+                    self.stats.prefetch_useful += 1;
                     self.tracer.emit_for(
-                        core as u32,
+                        self.id as u32,
                         now,
                         TraceKind::PrefetchFirstUse {
                             line,
@@ -525,7 +678,7 @@ impl MemorySystem {
                         },
                     );
                     self.feedback.push(PrefetchFeedback {
-                        core,
+                        core: self.id,
                         pc_hash: before.pc_hash,
                         useful: true,
                     });
@@ -540,17 +693,17 @@ impl MemorySystem {
             };
         }
         if is_inst {
-            self.stats[core].l1i_misses += 1;
+            self.stats.l1i_misses += 1;
         } else {
-            self.stats[core].l1d_misses += 1;
+            self.stats.l1d_misses += 1;
         }
 
         // merge with an outstanding demand miss?
-        if let Some((complete_at, _, _, service)) = self.mshr[core].lookup(line) {
-            self.stats[core].mshr_merges += 1;
+        if let Some((complete_at, _, _, service)) = self.mshr.lookup(line) {
+            self.stats.mshr_merges += 1;
             if !is_inst {
                 self.tracer.emit_for(
-                    core as u32,
+                    self.id as u32,
                     now,
                     TraceKind::DemandMiss {
                         line,
@@ -568,14 +721,13 @@ impl MemorySystem {
         }
         // merge with an in-flight prefetch? (a *late* prefetch — only the
         // first merging demand scores it; the entry is then promoted)
-        if let Some((complete_at, was_prefetch, pc_hash, service)) = self.pf_mshr[core].lookup(line)
-        {
-            self.stats[core].mshr_merges += 1;
+        if let Some((complete_at, was_prefetch, pc_hash, service)) = self.pf_mshr.lookup(line) {
+            self.stats.mshr_merges += 1;
             if was_prefetch && !is_inst {
-                self.stats[core].prefetch_useful += 1;
-                self.stats[core].prefetch_late += 1;
+                self.stats.prefetch_useful += 1;
+                self.stats.prefetch_late += 1;
                 self.tracer.emit_for(
-                    core as u32,
+                    self.id as u32,
                     now,
                     TraceKind::PrefetchMshrMerged {
                         line,
@@ -584,21 +736,18 @@ impl MemorySystem {
                     },
                 );
                 self.feedback.push(PrefetchFeedback {
-                    core,
+                    core: self.id,
                     pc_hash,
                     useful: true,
                 });
-                self.pf_mshr[core].promote_to_demand(line);
+                self.pf_mshr.promote_to_demand(line);
                 // the eventual fill must not double-report
-                for f in self.fill_data.iter_mut().flatten() {
-                    if f.core == core && line_of(f.phys) == line {
-                        f.meta.used = true;
-                    }
-                }
+                self.fills.mark_used(self.id, line);
+                shared.mark_fill_used(self.id, line);
             } else if !is_inst {
                 // promoted entry: plain in-flight demand merge
                 self.tracer.emit_for(
-                    core as u32,
+                    self.id as u32,
                     now,
                     TraceKind::DemandMiss {
                         line,
@@ -616,11 +765,11 @@ impl MemorySystem {
                 queued_until: 0,
             };
         }
-        match self.mshr[core].request(line, now) {
+        match self.mshr.request(line, now) {
             MshrOutcome::Merged { .. } => unreachable!("lookup checked above"),
             MshrOutcome::Allocated { start_at } => {
                 let (done, level, fill_l2, fill_l3) =
-                    self.lower_levels(core, phys, start_at + l1_latency, true);
+                    self.lower_levels(shared, phys, start_at + l1_latency, true);
                 if !is_inst {
                     let service = match level {
                         HitLevel::L2 => ServiceLevel::L2,
@@ -628,7 +777,7 @@ impl MemorySystem {
                         _ => ServiceLevel::Dram,
                     };
                     self.tracer.emit_for(
-                        core as u32,
+                        self.id as u32,
                         now,
                         TraceKind::DemandMiss {
                             line,
@@ -636,10 +785,10 @@ impl MemorySystem {
                         },
                     );
                 }
-                self.mshr[core].fill_scheduled(line, done, false, 0, level);
-                self.schedule_fill(PendingFill {
+                self.mshr.fill_scheduled(line, done, false, 0, level);
+                let fill = PendingFill {
                     complete_at: done,
-                    core,
+                    core: self.id,
                     phys,
                     meta: LineMeta {
                         prefetched: false,
@@ -651,7 +800,9 @@ impl MemorySystem {
                     fill_l2,
                     fill_l3,
                     is_inst,
-                });
+                    issue_seq: self.next_seq(),
+                };
+                self.dispatch_fill(shared, fill);
                 AccessOutcome {
                     complete_at: done,
                     level,
@@ -663,67 +814,23 @@ impl MemorySystem {
         }
     }
 
-    /// Pushes a dirty line evicted from an L1D down one level; dirty lines
-    /// falling out of the LLC consume DRAM channel bandwidth.
-    fn writeback(&mut self, core: usize, line_addr: u64, now: u64) {
-        let dirty = LineMeta {
-            dirty: true,
-            used: true,
-            ..LineMeta::default()
-        };
-        if self.l2[core].probe(line_addr) {
-            self.l2[core].mark_dirty(line_addr);
-        } else {
-            let v2 = self.l2[core].insert(line_addr, dirty);
-            self.dirty_l2_victim(core, v2, now);
-        }
-    }
-
-    /// Handles a (possibly dirty) L2 victim: dirty lines move to the L3.
-    fn dirty_l2_victim(&mut self, core: usize, victim: Option<(u64, LineMeta)>, now: u64) {
-        let Some((vaddr, vmeta)) = victim else { return };
-        if !vmeta.dirty {
-            return;
-        }
-        if self.l3.probe(vaddr) {
-            self.l3.mark_dirty(vaddr);
-        } else {
-            let dirty = LineMeta {
-                dirty: true,
-                used: true,
-                ..LineMeta::default()
-            };
-            let v3 = self.l3.insert(vaddr, dirty);
-            self.dirty_l3_victim(core, v3, now);
-        }
-    }
-
-    /// Handles a (possibly dirty) L3 victim: dirty lines are written back
-    /// to DRAM, consuming channel bandwidth.
-    fn dirty_l3_victim(&mut self, core: usize, victim: Option<(u64, LineMeta)>, now: u64) {
-        if let Some((vaddr, vmeta)) = victim {
-            if vmeta.dirty {
-                self.stats[core].writebacks += 1;
-                self.dram.request(line_of(vaddr), now);
-            }
-        }
-    }
-
-    /// Issues a prefetch of `addr` into `core`'s L1D, tagged with the 10-bit
-    /// originating-load-PC hash. Returns the fill completion cycle, or
-    /// `None` if the prefetch was dropped as redundant.
-    pub fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
-        self.drain(now);
-        let phys = Self::translate(core, addr);
+    /// Issues a prefetch of `addr` into this core's L1D, tagged with the
+    /// 10-bit originating-load-PC hash. Returns the fill completion cycle,
+    /// or `None` if the prefetch was dropped as redundant.
+    pub fn prefetch(
+        &mut self,
+        shared: &mut impl SharedLevel,
+        addr: u64,
+        pc_hash: u16,
+        now: u64,
+    ) -> Option<u64> {
+        let phys = self.translate(addr);
         let line = line_of(phys);
-        self.stats[core].prefetch_issued += 1;
-        if self.l1d[core].probe(phys)
-            || self.mshr[core].contains(line)
-            || self.pf_mshr[core].contains(line)
-        {
-            self.stats[core].prefetch_redundant += 1;
+        self.stats.prefetch_issued += 1;
+        if self.l1d.probe(phys) || self.mshr.contains(line) || self.pf_mshr.contains(line) {
+            self.stats.prefetch_redundant += 1;
             self.tracer.emit_for(
-                core as u32,
+                self.id as u32,
                 now,
                 TraceKind::PrefetchDropped {
                     line,
@@ -735,10 +842,10 @@ impl MemorySystem {
         }
         // the prefetch buffer pool is bounded: drop rather than queue so
         // stale speculative requests never pile up
-        if self.pf_mshr[core].free() == 0 {
-            self.stats[core].prefetch_mshr_drops += 1;
+        if self.pf_mshr.free() == 0 {
+            self.stats.prefetch_mshr_drops += 1;
             self.tracer.emit_for(
-                core as u32,
+                self.id as u32,
                 now,
                 TraceKind::PrefetchDropped {
                     line,
@@ -748,24 +855,24 @@ impl MemorySystem {
             );
             return None;
         }
-        let start_at = match self.pf_mshr[core].request(line, now) {
+        let start_at = match self.pf_mshr.request(line, now) {
             MshrOutcome::Allocated { start_at } => start_at,
             MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
         };
         let (done, level, fill_l2, fill_l3) =
-            self.lower_levels(core, phys, start_at + self.cfg.l1d.latency, false);
-        self.pf_mshr[core].fill_scheduled(line, done, true, pc_hash & 0x3ff, level);
+            self.lower_levels(shared, phys, start_at + self.cfg.l1d.latency, false);
+        self.pf_mshr.fill_scheduled(line, done, true, pc_hash & 0x3ff, level);
         self.tracer.emit_for(
-            core as u32,
+            self.id as u32,
             now,
             TraceKind::PrefetchIssued {
                 line,
                 pc_hash: pc_hash & 0x3ff,
             },
         );
-        self.schedule_fill(PendingFill {
+        let fill = PendingFill {
             complete_at: done,
-            core,
+            core: self.id,
             phys,
             meta: LineMeta {
                 prefetched: true,
@@ -777,8 +884,404 @@ impl MemorySystem {
             fill_l2,
             fill_l3,
             is_inst: false,
-        });
+            issue_seq: self.next_seq(),
+        };
+        self.dispatch_fill(shared, fill);
         Some(done)
+    }
+
+    /// Issues an *instruction* prefetch of `addr` into this core's L1I (the
+    /// paper's future-work direction: reusing the lookahead path for
+    /// instruction prefetching). Shares the prefetch buffer pool with data
+    /// prefetches. Returns the fill completion cycle, or `None` if dropped.
+    pub fn prefetch_inst(
+        &mut self,
+        shared: &mut impl SharedLevel,
+        addr: u64,
+        now: u64,
+    ) -> Option<u64> {
+        let phys = self.translate(addr);
+        let line = line_of(phys);
+        self.stats.prefetch_issued += 1;
+        if self.l1i.probe(phys) || self.mshr.contains(line) || self.pf_mshr.contains(line) {
+            self.stats.prefetch_redundant += 1;
+            return None;
+        }
+        if self.pf_mshr.free() == 0 {
+            self.stats.prefetch_mshr_drops += 1;
+            return None;
+        }
+        let start_at = match self.pf_mshr.request(line, now) {
+            MshrOutcome::Allocated { start_at } => start_at,
+            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
+        };
+        let (done, level, fill_l2, fill_l3) =
+            self.lower_levels(shared, phys, start_at + self.cfg.l1i.latency, false);
+        self.pf_mshr.fill_scheduled(line, done, true, 0, level);
+        let fill = PendingFill {
+            complete_at: done,
+            core: self.id,
+            phys,
+            meta: LineMeta::default(),
+            fill_l2,
+            fill_l3,
+            is_inst: true,
+            issue_seq: self.next_seq(),
+        };
+        self.dispatch_fill(shared, fill);
+        Some(done)
+    }
+
+    /// Installs this core's due fills (including shared fills already
+    /// re-queued here by the chip drain) in issue order, and retires the
+    /// corresponding MSHR entries.
+    fn drain_private(&mut self, shared: &mut SharedMem, now: u64) {
+        while let Some(fill) = self.fills.pop_due(now) {
+            // a routed shared fill's L3 portion was already installed by
+            // the chip drain; only the private levels remain
+            if fill.fill_l2 {
+                let v2 = self.l2.insert(fill.phys, LineMeta::default());
+                self.dirty_l2_victim(shared, v2, fill.complete_at);
+            }
+            let evicted = if fill.is_inst {
+                self.l1i.insert(fill.phys, LineMeta::default())
+            } else {
+                if fill.meta.prefetched {
+                    self.tracer.emit_for(
+                        self.id as u32,
+                        fill.complete_at,
+                        TraceKind::PrefetchFilled {
+                            line: line_of(fill.phys),
+                            pc_hash: fill.meta.pc_hash,
+                        },
+                    );
+                }
+                self.l1d.insert(fill.phys, fill.meta)
+            };
+            if let Some((vaddr, vmeta)) = evicted {
+                if vmeta.prefetched && !vmeta.used {
+                    self.stats.prefetch_useless += 1;
+                    self.tracer.emit_for(
+                        self.id as u32,
+                        fill.complete_at,
+                        TraceKind::PrefetchEvictedUnused {
+                            line: vaddr,
+                            pc_hash: vmeta.pc_hash,
+                        },
+                    );
+                    self.feedback.push(PrefetchFeedback {
+                        core: self.id,
+                        pc_hash: vmeta.pc_hash,
+                        useful: false,
+                    });
+                }
+                if self.cfg.model_writebacks && vmeta.dirty && !fill.is_inst {
+                    self.writeback(shared, vaddr, fill.complete_at);
+                }
+            }
+            self.mshr.expire(now.min(fill.complete_at));
+            self.pf_mshr.expire(now.min(fill.complete_at));
+        }
+    }
+
+    /// Pushes a dirty line evicted from the L1D down one level; dirty lines
+    /// falling out of the LLC consume DRAM channel bandwidth.
+    fn writeback(&mut self, shared: &mut SharedMem, line_addr: u64, now: u64) {
+        let dirty = LineMeta {
+            dirty: true,
+            used: true,
+            ..LineMeta::default()
+        };
+        if self.l2.probe(line_addr) {
+            self.l2.mark_dirty(line_addr);
+        } else {
+            let v2 = self.l2.insert(line_addr, dirty);
+            self.dirty_l2_victim(shared, v2, now);
+        }
+    }
+
+    /// Handles a (possibly dirty) L2 victim: dirty lines move to the L3.
+    fn dirty_l2_victim(
+        &mut self,
+        shared: &mut SharedMem,
+        victim: Option<(u64, LineMeta)>,
+        now: u64,
+    ) {
+        let Some((vaddr, vmeta)) = victim else { return };
+        if !vmeta.dirty {
+            return;
+        }
+        if shared.l3_probe(vaddr) {
+            shared.l3_mark_dirty(vaddr);
+        } else {
+            let dirty = LineMeta {
+                dirty: true,
+                used: true,
+                ..LineMeta::default()
+            };
+            let v3 = shared.l3_insert(vaddr, dirty);
+            shared.dirty_l3_victim(&mut self.stats, v3, now);
+        }
+    }
+
+    /// Sweeps both MSHR files at `now` (each file internally guards with
+    /// its own earliest-completion bound) and returns the new lower bound
+    /// on this core's earliest outstanding completion.
+    fn expire_mshrs(&mut self, now: u64) -> u64 {
+        self.mshr.expire(now);
+        self.pf_mshr.expire(now);
+        self.mshr.earliest().min(self.pf_mshr.earliest())
+    }
+}
+
+/// Uniform mutable access to a set of [`CoreMem`]s, so the chip-wide drain
+/// can run both over the sequential facade's `Vec` and over the parallel
+/// engine's per-worker slots.
+pub trait CoreSet {
+    /// Number of cores in the set.
+    fn len(&self) -> usize;
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Mutable access to core `i`'s memory.
+    fn core_mut(&mut self, i: usize) -> &mut CoreMem;
+}
+
+impl CoreSet for Vec<CoreMem> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+    fn core_mut(&mut self, i: usize) -> &mut CoreMem {
+        &mut self[i]
+    }
+}
+
+/// Chip-wide skip guards: lower bounds on the earliest outstanding fill
+/// completion and MSHR retirement anywhere on the chip. Stale-low is
+/// harmless (one wasted sweep); stale-high would skip retirements, so the
+/// bounds are only lowered by [`ChipGuard::note`] as fills are scheduled
+/// and only raised by a full sweep in [`drain_chip`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChipGuard {
+    earliest_fill: u64,
+    earliest_mshr: u64,
+}
+
+impl ChipGuard {
+    /// A guard for an idle chip (nothing outstanding).
+    pub fn new() -> Self {
+        Self {
+            earliest_fill: u64::MAX,
+            earliest_mshr: u64::MAX,
+        }
+    }
+
+    /// Records a newly scheduled completion at `t` (u64::MAX is a no-op,
+    /// so feeding [`CoreMem::take_sched_min`] straight in is safe).
+    pub fn note(&mut self, t: u64) {
+        self.earliest_fill = self.earliest_fill.min(t);
+        self.earliest_mshr = self.earliest_mshr.min(t);
+    }
+}
+
+impl Default for ChipGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Installs every fill that has completed by `now` — shared fills' L3
+/// portions in global completion order, each core's private installs in
+/// that core's issue order — and retires the corresponding MSHR entries.
+///
+/// This is the one chip-wide synchronization point of the memory model:
+/// the sequential facade runs it before every access, the parallel engine
+/// once per cycle before releasing the worker threads (fills always
+/// complete strictly in the future, so the two schedules are equivalent).
+pub fn drain_chip(cores: &mut impl CoreSet, shared: &mut SharedMem, now: u64, guard: &mut ChipGuard) {
+    if guard.earliest_fill <= now {
+        while let Some(fill) = shared.fills.pop_due(now) {
+            let v3 = shared.l3_insert(fill.phys, LineMeta::default());
+            shared.dirty_l3_victim(&mut cores.core_mut(fill.core).stats, v3, fill.complete_at);
+            // hand the private portion back to the owner; its issue stamp
+            // slots it into the core's install order
+            cores.core_mut(fill.core).fills.push(fill.issue_seq, fill);
+        }
+        let mut next = shared.fills.next_due(); // always > now here
+        for i in 0..cores.len() {
+            let c = cores.core_mut(i);
+            c.drain_private(shared, now);
+            next = next.min(c.fills.next_due());
+        }
+        guard.earliest_fill = next;
+    }
+    if guard.earliest_mshr <= now {
+        let mut earliest = u64::MAX;
+        for i in 0..cores.len() {
+            earliest = earliest.min(cores.core_mut(i).expire_mshrs(now));
+        }
+        guard.earliest_mshr = earliest;
+    }
+}
+
+/// The memory-system surface a timing core drives, independent of the
+/// stepping engine. The sequential [`MemorySystem`] facade implements it
+/// directly; the parallel engine's per-worker view implements it over one
+/// [`CoreMem`] plus the turn-ordered shared gate. Cores are generic over
+/// it (monomorphized), so the indirection costs nothing on the hot path.
+pub trait MemoryInterface {
+    /// Performs a demand access for `core` at cycle `now`.
+    fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome;
+    /// Issues a data prefetch; `None` when dropped.
+    fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64>;
+    /// Issues an instruction prefetch; `None` when dropped.
+    fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64>;
+    /// Per-core statistics.
+    fn stats(&self, core: usize) -> &MemStats;
+    /// Live demand-MSHR entries for `core` (watchdog diagnostics).
+    fn mshr_live(&self, core: usize) -> usize;
+    /// Live prefetch-MSHR entries for `core` (watchdog diagnostics).
+    fn pf_mshr_live(&self, core: usize) -> usize;
+}
+
+/// The chip's memory system: all caches, MSHRs and DRAM, advanced by the
+/// timestamps the timing cores pass in (which must be non-decreasing per
+/// call site within a run).
+///
+/// This is the sequential facade over the [`CoreMem`]/[`SharedMem`] split;
+/// [`MemorySystem::into_parts`] hands the pieces to the parallel stepping
+/// engine and [`MemorySystem::from_parts`] reassembles them for reporting.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: HierarchyConfig,
+    cores: Vec<CoreMem>,
+    shared: SharedMem,
+    guard: ChipGuard,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cache geometry, a zero core count, or L3 capacity
+    /// not dividing evenly across banks.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        Self {
+            cores: (0..cfg.cores).map(|i| CoreMem::new(i, cfg)).collect(),
+            shared: SharedMem::new(cfg),
+            guard: ChipGuard::new(),
+            cfg,
+        }
+    }
+
+    /// Installs the trace handle shared with the rest of the simulation.
+    /// The memory system is shared by all cores, so it stamps core indices
+    /// explicitly on each event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for c in &mut self.cores {
+            c.set_tracer(tracer.clone());
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self, core: usize) -> &MemStats {
+        self.cores[core].stats()
+    }
+
+    /// The shared DRAM controller (for utilization reporting).
+    pub fn dram(&self) -> &Dram {
+        self.shared.dram()
+    }
+
+    /// Live demand-MSHR entries for `core` (watchdog diagnostics).
+    pub fn mshr_live(&self, core: usize) -> usize {
+        self.cores[core].mshr_live()
+    }
+
+    /// Live prefetch-MSHR entries for `core` (watchdog diagnostics).
+    pub fn pf_mshr_live(&self, core: usize) -> usize {
+        self.cores[core].pf_mshr_live()
+    }
+
+    /// The shared L3 banks (for occupancy/statistics inspection).
+    pub fn l3(&self) -> &[SetAssocCache] {
+        self.shared.l3()
+    }
+
+    /// Splits the system into its per-core and shared halves for the
+    /// parallel stepping engine.
+    pub fn into_parts(self) -> (Vec<CoreMem>, SharedMem) {
+        (self.cores, self.shared)
+    }
+
+    /// Reassembles a system from parts (after a parallel run, for
+    /// reporting through the usual accessors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts don't describe the same chip.
+    pub fn from_parts(cores: Vec<CoreMem>, shared: SharedMem) -> Self {
+        assert_eq!(cores.len(), shared.cfg.cores, "core count mismatch");
+        Self {
+            cfg: shared.cfg,
+            cores,
+            shared,
+            guard: ChipGuard::new(), // stale-low: first drain re-sweeps
+        }
+    }
+
+    /// Drains and returns pending prefetch-usefulness feedback events,
+    /// grouped by core (within a core, in event order).
+    pub fn take_feedback(&mut self) -> Vec<PrefetchFeedback> {
+        let mut out = Vec::new();
+        for c in &mut self.cores {
+            out.append(&mut c.feedback);
+        }
+        out
+    }
+
+    /// Drains pending feedback through a callback, keeping the buffers'
+    /// capacity. The per-cycle path uses this so an idle chip does no heap
+    /// work ([`MemorySystem::take_feedback`] hands a whole vector out and
+    /// forces a fresh allocation on the next event).
+    pub fn drain_feedback(&mut self, mut f: impl FnMut(PrefetchFeedback)) {
+        for c in &mut self.cores {
+            c.drain_feedback(&mut f);
+        }
+    }
+
+    /// Installs every fill that has completed by `now` and retires the
+    /// corresponding MSHR entries.
+    pub fn drain(&mut self, now: u64) {
+        drain_chip(&mut self.cores, &mut self.shared, now, &mut self.guard);
+    }
+
+    /// Performs a demand access for `core` at cycle `now`.
+    ///
+    /// Timestamps must be non-decreasing across calls for a given run.
+    pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
+        self.drain(now);
+        let out = self.cores[core].access(&mut self.shared, kind, addr, now);
+        self.guard.note(self.cores[core].take_sched_min());
+        out
+    }
+
+    /// Issues a prefetch of `addr` into `core`'s L1D, tagged with the 10-bit
+    /// originating-load-PC hash. Returns the fill completion cycle, or
+    /// `None` if the prefetch was dropped as redundant.
+    pub fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
+        self.drain(now);
+        let out = self.cores[core].prefetch(&mut self.shared, addr, pc_hash, now);
+        self.guard.note(self.cores[core].take_sched_min());
+        out
     }
 
     /// Issues an *instruction* prefetch of `addr` into `core`'s L1I (the
@@ -787,37 +1290,30 @@ impl MemorySystem {
     /// prefetches. Returns the fill completion cycle, or `None` if dropped.
     pub fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64> {
         self.drain(now);
-        let phys = Self::translate(core, addr);
-        let line = line_of(phys);
-        self.stats[core].prefetch_issued += 1;
-        if self.l1i[core].probe(phys)
-            || self.mshr[core].contains(line)
-            || self.pf_mshr[core].contains(line)
-        {
-            self.stats[core].prefetch_redundant += 1;
-            return None;
-        }
-        if self.pf_mshr[core].free() == 0 {
-            self.stats[core].prefetch_mshr_drops += 1;
-            return None;
-        }
-        let start_at = match self.pf_mshr[core].request(line, now) {
-            MshrOutcome::Allocated { start_at } => start_at,
-            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
-        };
-        let (done, level, fill_l2, fill_l3) =
-            self.lower_levels(core, phys, start_at + self.cfg.l1i.latency, false);
-        self.pf_mshr[core].fill_scheduled(line, done, true, 0, level);
-        self.schedule_fill(PendingFill {
-            complete_at: done,
-            core,
-            phys,
-            meta: LineMeta::default(),
-            fill_l2,
-            fill_l3,
-            is_inst: true,
-        });
-        Some(done)
+        let out = self.cores[core].prefetch_inst(&mut self.shared, addr, now);
+        self.guard.note(self.cores[core].take_sched_min());
+        out
+    }
+}
+
+impl MemoryInterface for MemorySystem {
+    fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
+        MemorySystem::access(self, core, kind, addr, now)
+    }
+    fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
+        MemorySystem::prefetch(self, core, addr, pc_hash, now)
+    }
+    fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64> {
+        MemorySystem::prefetch_inst(self, core, addr, now)
+    }
+    fn stats(&self, core: usize) -> &MemStats {
+        MemorySystem::stats(self, core)
+    }
+    fn mshr_live(&self, core: usize) -> usize {
+        MemorySystem::mshr_live(self, core)
+    }
+    fn pf_mshr_live(&self, core: usize) -> usize {
+        MemorySystem::pf_mshr_live(self, core)
     }
 }
 
@@ -1092,12 +1588,14 @@ mod tests {
             now = out.complete_at + 1;
         }
         m.drain(now + 1000);
-        assert!(
-            m.fill_data.len() < 16,
-            "fill pool grew to {} for strictly serial misses",
-            m.fill_data.len()
-        );
-        assert_eq!(m.fill_free.len(), m.fill_data.len(), "all slots free");
+        for pool in [&m.shared.fills, &m.cores[0].fills] {
+            assert!(
+                pool.data.len() < 16,
+                "fill pool grew to {} for strictly serial misses",
+                pool.data.len()
+            );
+            assert_eq!(pool.free.len(), pool.data.len(), "all slots free");
+        }
     }
 
     #[test]
@@ -1150,5 +1648,71 @@ mod tests {
         };
         assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
         assert_eq!(MemStats::default().prefetch_accuracy(), 0.0);
+    }
+
+    // ---- banked L3 ----
+
+    fn banked(cores: usize, banks: usize) -> MemorySystem {
+        let mut cfg = HierarchyConfig::baseline(cores);
+        cfg.l3_banks = banks;
+        MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn bank_mapping_is_a_bijection() {
+        let m = banked(1, 4);
+        for li in 0..64u64 {
+            let phys = li * 64 + 17; // offset bits survive the mapping
+            let (b, a) = m.shared.l3_slot(phys);
+            assert_eq!(b as u64, li % 4);
+            assert_eq!(a & 63, 17);
+            assert_eq!(m.shared.l3_unslot(b, line_of(a)), line_of(phys));
+        }
+    }
+
+    #[test]
+    fn banked_l3_preserves_timing_for_single_core_stream() {
+        // bank interleaving changes placement, not latency: a miss/hit
+        // sequence with no capacity pressure times identically at 1 vs 4
+        // banks
+        let mut mono = banked(1, 1);
+        let mut quad = banked(1, 4);
+        for m in [&mut mono, &mut quad] {
+            let a = m.access(0, AccessKind::Load, 0x10_0000, 0);
+            assert_eq!(a.complete_at, 232);
+        }
+        // blow the line out of both L1 and L2 so the next touch lands in L3
+        for m in [&mut mono, &mut quad] {
+            let mut now = 233;
+            for i in 1..=64u64 {
+                let out = m.access(0, AccessKind::Load, 0x10_0000 + i * 8 * 1024, now);
+                now = out.complete_at + 1;
+            }
+            let out = m.access(0, AccessKind::Load, 0x10_0000, 100_000);
+            assert_eq!(out.level, HitLevel::L3, "line survives in its bank");
+        }
+    }
+
+    #[test]
+    fn banked_l3_spreads_lines_across_banks() {
+        let mut m = banked(1, 4);
+        let mut now = 0;
+        // 16 consecutive lines: 4 per bank
+        for i in 0..16u64 {
+            let out = m.access(0, AccessKind::Load, 0x10_0000 + i * 64, now);
+            now = out.complete_at + 1;
+        }
+        m.drain(now + 1000);
+        for bank in m.l3() {
+            assert_eq!(bank.valid_lines(), 4, "even interleave across banks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn banked_l3_rejects_uneven_split() {
+        let mut cfg = HierarchyConfig::baseline(1);
+        cfg.l3_banks = 3; // 2 MB does not divide by 3
+        MemorySystem::new(cfg);
     }
 }

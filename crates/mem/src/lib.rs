@@ -36,13 +36,17 @@ pub mod cache;
 pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
+pub mod sync;
 
 pub use cache::{CacheConfig, CacheStats, LineMeta, SetAssocCache};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{
-    AccessKind, AccessOutcome, HierarchyConfig, HitLevel, MemStats, MemorySystem, PrefetchFeedback,
+    drain_chip, AccessKind, AccessOutcome, ChipGuard, CoreMem, CoreSet, HierarchyConfig, HitLevel,
+    MemStats, MemoryInterface, MemorySystem, PendingFill, PrefetchFeedback, SharedLevel,
+    SharedMem,
 };
 pub use mshr::{MshrFile, MshrOutcome};
+pub use sync::{CoreProbe, SharedTurn, TurnGate};
 
 /// Cache line size in bytes used throughout the system (and by the paper's
 /// delta analyses, which are expressed "at the granularity of a cache block

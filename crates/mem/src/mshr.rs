@@ -75,6 +75,10 @@ const FREE: Slot = Slot {
 pub struct MshrFile {
     slots: Box<[Slot]>,
     live: usize,
+    /// Earliest `complete_at` among valid slots (`u64::MAX` when empty):
+    /// lets [`MshrFile::expire`] skip the slot sweep entirely on the hot
+    /// path, where most calls have nothing to retire.
+    earliest: u64,
     merges: u64,
     full_stalls: u64,
 }
@@ -90,6 +94,7 @@ impl MshrFile {
         Self {
             slots: vec![FREE; capacity].into_boxed_slice(),
             live: 0,
+            earliest: u64::MAX,
             merges: 0,
             full_stalls: 0,
         }
@@ -104,12 +109,21 @@ impl MshrFile {
 
     /// Drops entries whose fills have completed by `now`.
     pub fn expire(&mut self, now: u64) {
+        if self.earliest > now {
+            return; // nothing can have completed yet
+        }
+        let mut earliest = u64::MAX;
         for s in self.slots.iter_mut() {
-            if s.valid && s.complete_at <= now {
-                s.valid = false;
-                self.live -= 1;
+            if s.valid {
+                if s.complete_at <= now {
+                    s.valid = false;
+                    self.live -= 1;
+                } else {
+                    earliest = earliest.min(s.complete_at);
+                }
             }
         }
+        self.earliest = earliest;
     }
 
     /// Looks up `line`; merges with an in-flight request or reserves a new
@@ -175,6 +189,10 @@ impl MshrFile {
             valid: true,
             level,
         };
+        // `earliest` is a lower bound on the live minimum: eviction above
+        // may leave it stale-low (harmless — the expire guard just fires a
+        // no-op sweep), but it must never be stale-high
+        self.earliest = self.earliest.min(complete_at);
         match self.find(line) {
             Some(i) => self.slots[i] = entry,
             None => {
@@ -210,6 +228,13 @@ impl MshrFile {
                 let s = self.slots[i];
                 (s.complete_at, s.is_prefetch, s.pc_hash, s.level)
             })
+    }
+
+    /// Lower bound on the earliest outstanding `complete_at` (`u64::MAX`
+    /// when the file is empty). May be stale-low after an eviction, never
+    /// stale-high — callers can use it to skip [`MshrFile::expire`] sweeps.
+    pub fn earliest(&self) -> u64 {
+        self.earliest
     }
 
     /// Free entries remaining.

@@ -1,0 +1,307 @@
+//! Deterministic cross-thread arbitration for the shared memory levels.
+//!
+//! The parallel CMP engine steps private cores concurrently but must
+//! resolve every shared-L3/DRAM interaction in *canonical core order* so a
+//! run is byte-identical regardless of worker-thread count. [`SharedTurn`]
+//! enforces that order: it wraps the [`SharedMem`] in a mutex plus a turn
+//! counter, and [`TurnGate`] (one per core per cycle) blocks each shared
+//! operation until the turn counter reaches its core id. A core that
+//! finishes its cycle calls [`SharedTurn::finish_core`], which advances the
+//! turn past every consecutively-done core and wakes the waiters.
+//!
+//! Because core `i`'s shared operations all happen while `turn == i`, the
+//! interleaving of `lower`/`schedule_fill`/`mark_fill_used` calls against
+//! the shared state is exactly the sequential engine's program order — the
+//! shared fill sequence numbers assigned at `schedule_fill` time come out
+//! identical, which is the linchpin of the determinism guarantee (see
+//! DESIGN.md §12).
+//!
+//! Panic safety: if a worker panics mid-cycle it poisons the turn, which
+//! wakes every blocked gate and makes it panic too; the engine catches
+//! those unwinds and surfaces the *first* panic as a typed error instead of
+//! deadlocking on a turn that will never come.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::hierarchy::{AccessOutcome, HitLevel, MemStats, PendingFill, SharedLevel, SharedMem};
+
+#[derive(Debug)]
+struct TurnInner {
+    shared: SharedMem,
+    /// The core whose shared operations are currently allowed.
+    turn: usize,
+    /// Which cores have finished the current cycle.
+    done: Box<[bool]>,
+    /// Set when a worker panicked; every gate panics instead of waiting.
+    poisoned: bool,
+    /// The first panic observed: `(core, message)`.
+    panic_msg: Option<(usize, String)>,
+}
+
+/// Turn-ordered gate around the chip-shared memory levels.
+///
+/// Owned by the parallel engine's coordinator; workers interact through
+/// per-core [`TurnGate`] handles.
+#[derive(Debug)]
+pub struct SharedTurn {
+    inner: Mutex<TurnInner>,
+    turn_advanced: Condvar,
+}
+
+impl SharedTurn {
+    /// Wraps `shared` for `cores` concurrently-stepped cores.
+    pub fn new(shared: SharedMem, cores: usize) -> Self {
+        Self {
+            inner: Mutex::new(TurnInner {
+                shared,
+                turn: 0,
+                done: vec![false; cores].into_boxed_slice(),
+                poisoned: false,
+                panic_msg: None,
+            }),
+            turn_advanced: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TurnInner> {
+        // std mutex poisoning is redundant with our own `poisoned` flag;
+        // ignoring it keeps the unwind path from cascading into aborts.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns this core's gate for the current cycle.
+    pub fn gate(&self, core: usize) -> TurnGate<'_> {
+        TurnGate { turn: self, core }
+    }
+
+    /// Resets the turn to core 0 with no cores done. Called by the
+    /// coordinator between cycles, while no worker is stepping.
+    pub fn begin_cycle(&self) {
+        let mut g = self.lock();
+        g.turn = 0;
+        g.done.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Marks `core` done for this cycle and advances the turn over every
+    /// consecutively-done core, waking blocked gates.
+    pub fn finish_core(&self, core: usize) {
+        let mut g = self.lock();
+        g.done[core] = true;
+        while g.turn < g.done.len() && g.done[g.turn] {
+            g.turn += 1;
+        }
+        drop(g);
+        self.turn_advanced.notify_all();
+    }
+
+    /// Records a worker panic and wakes every blocked gate so the cycle
+    /// unwinds instead of deadlocking. The first message wins.
+    pub fn poison(&self, core: usize, message: String) {
+        let mut g = self.lock();
+        g.poisoned = true;
+        if g.panic_msg.is_none() {
+            g.panic_msg = Some((core, message));
+        }
+        drop(g);
+        self.turn_advanced.notify_all();
+    }
+
+    /// Takes the recorded panic, if any. Coordinator-phase only.
+    pub fn take_panic(&self) -> Option<(usize, String)> {
+        self.lock().panic_msg.take()
+    }
+
+    /// Runs `f` against the shared levels directly. Coordinator-phase only
+    /// (no worker is stepping), so the lock is uncontended and no turn
+    /// check applies.
+    pub fn with_shared<R>(&self, f: impl FnOnce(&mut SharedMem) -> R) -> R {
+        f(&mut self.lock().shared)
+    }
+
+    /// Unwraps the shared levels once stepping is over.
+    pub fn into_shared(self) -> SharedMem {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .shared
+    }
+}
+
+/// One core's per-cycle handle onto the [`SharedTurn`]: implements
+/// [`SharedLevel`] by blocking each operation until it is this core's turn.
+#[derive(Debug)]
+pub struct TurnGate<'a> {
+    turn: &'a SharedTurn,
+    core: usize,
+}
+
+impl TurnGate<'_> {
+    /// Locks, waits for this core's turn (or panics if the cycle was
+    /// poisoned by another worker's panic), and runs `op` on the shared
+    /// levels.
+    fn in_turn<R>(&self, op: impl FnOnce(&mut SharedMem) -> R) -> R {
+        let mut g = self.turn.lock();
+        while g.turn != self.core {
+            if g.poisoned {
+                panic!("shared turn poisoned by another core's panic");
+            }
+            g = self
+                .turn
+                .turn_advanced
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if g.poisoned {
+            panic!("shared turn poisoned by another core's panic");
+        }
+        op(&mut g.shared)
+    }
+}
+
+impl SharedLevel for TurnGate<'_> {
+    fn lower(
+        &mut self,
+        core: usize,
+        phys: u64,
+        start: u64,
+        demand: bool,
+        stats: &mut MemStats,
+    ) -> (u64, HitLevel, bool) {
+        debug_assert_eq!(core, self.core);
+        self.in_turn(|shared| shared.lower(core, phys, start, demand, stats))
+    }
+
+    fn schedule_fill(&mut self, fill: PendingFill) {
+        self.in_turn(|shared| shared.schedule_fill(fill))
+    }
+
+    fn mark_fill_used(&mut self, core: usize, line: u64) {
+        debug_assert_eq!(core, self.core);
+        self.in_turn(|shared| shared.mark_fill_used(core, line))
+    }
+}
+
+/// A read-only probe view over one core's private hierarchy, for
+/// coordinator-phase diagnostics (`Core::diag`, `Core::enable_cpi`) that
+/// are generic over [`crate::MemoryInterface`] but never issue accesses.
+#[derive(Debug)]
+pub struct CoreProbe<'a>(pub &'a crate::CoreMem);
+
+impl crate::MemoryInterface for CoreProbe<'_> {
+    fn access(&mut self, _core: usize, _kind: crate::AccessKind, _addr: u64, _now: u64) -> AccessOutcome {
+        unreachable!("CoreProbe is a read-only view")
+    }
+
+    fn prefetch(&mut self, _core: usize, _addr: u64, _pc_hash: u16, _now: u64) -> Option<u64> {
+        unreachable!("CoreProbe is a read-only view")
+    }
+
+    fn prefetch_inst(&mut self, _core: usize, _addr: u64, _now: u64) -> Option<u64> {
+        unreachable!("CoreProbe is a read-only view")
+    }
+
+    fn stats(&self, _core: usize) -> &MemStats {
+        self.0.stats()
+    }
+
+    fn mshr_live(&self, _core: usize) -> usize {
+        self.0.mshr_live()
+    }
+
+    fn pf_mshr_live(&self, _core: usize) -> usize {
+        self.0.pf_mshr_live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{HierarchyConfig, MemorySystem};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn shared_for(cores: usize) -> SharedMem {
+        let (_, shared) = MemorySystem::new(HierarchyConfig::baseline(cores)).into_parts();
+        shared
+    }
+
+    #[test]
+    fn gates_resolve_in_canonical_core_order() {
+        let n = 4;
+        let turn = Arc::new(SharedTurn::new(shared_for(n), n));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        turn.begin_cycle();
+        std::thread::scope(|s| {
+            // Launch in reverse so thread start order fights canonical order.
+            for core in (0..n).rev() {
+                let turn = Arc::clone(&turn);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let gate = turn.gate(core);
+                    gate.in_turn(|_| order.lock().unwrap().push(core));
+                    turn.finish_core(core);
+                });
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn finish_core_advances_over_consecutive_done_cores() {
+        let turn = SharedTurn::new(shared_for(4), 4);
+        turn.begin_cycle();
+        // Cores 1 and 2 finish before core 0 has taken its turn.
+        turn.finish_core(1);
+        turn.finish_core(2);
+        assert_eq!(turn.lock().turn, 0);
+        turn.finish_core(0);
+        assert_eq!(turn.lock().turn, 3);
+        turn.finish_core(3);
+        assert_eq!(turn.lock().turn, 4);
+    }
+
+    #[test]
+    fn poison_wakes_and_panics_blocked_gates() {
+        let n = 2;
+        let turn = Arc::new(SharedTurn::new(shared_for(n), n));
+        let unwound = Arc::new(AtomicUsize::new(0));
+        turn.begin_cycle();
+        std::thread::scope(|s| {
+            let t = Arc::clone(&turn);
+            let u = Arc::clone(&unwound);
+            s.spawn(move || {
+                // Core 1 blocks waiting for core 0's turn to pass.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut gate = t.gate(1);
+                    gate.mark_fill_used(1, 0);
+                }));
+                if caught.is_err() {
+                    u.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // Give the waiter a moment to block, then poison as core 0.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            turn.poison(0, "injected".into());
+        });
+        assert_eq!(unwound.load(Ordering::SeqCst), 1);
+        assert_eq!(turn.take_panic(), Some((0, "injected".into())));
+    }
+
+    #[test]
+    fn gate_matches_direct_shared_access() {
+        // A single core driving the shared level through a gate sees the
+        // same timing as driving SharedMem directly.
+        let mut direct = shared_for(1);
+        let turn = SharedTurn::new(shared_for(1), 1);
+        turn.begin_cycle();
+        let mut gate = turn.gate(0);
+        let mut stats_a = MemStats::default();
+        let mut stats_b = MemStats::default();
+        for (i, addr) in [0x10_0000u64, 0x20_0000, 0x10_0000].iter().enumerate() {
+            let now = i as u64 * 500;
+            let a = direct.lower(0, *addr, now, true, &mut stats_a);
+            let b = gate.lower(0, *addr, now, true, &mut stats_b);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use crate::config::SimConfig;
 use crate::core::{Core, CoreCounters};
 use crate::error::{DiagSnapshot, SimError};
+use crate::session::SimSession;
 use bfetch_core::EngineStats;
 use bfetch_isa::Program;
 use bfetch_mem::{MemStats, MemorySystem};
@@ -157,16 +158,16 @@ pub struct TracedRun {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Snapshot {
-    committed: u64,
-    counters: CoreCounters,
-    mem: MemStats,
-    engine: Option<EngineStats>,
-    pf_metadata: u64,
-    cycle: u64,
+pub(crate) struct Snapshot {
+    pub(crate) committed: u64,
+    pub(crate) counters: CoreCounters,
+    pub(crate) mem: MemStats,
+    pub(crate) engine: Option<EngineStats>,
+    pub(crate) pf_metadata: u64,
+    pub(crate) cycle: u64,
 }
 
-fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
+pub(crate) fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
     let mut h = [0u64; 5];
     for i in 0..5 {
         h[i] = now[i] - then[i];
@@ -185,23 +186,31 @@ fn hist_delta(now: &[u64; 5], then: &[u64; 5]) -> [u64; 5] {
 /// Panics if `programs` is empty or the simulation fails to make forward
 /// progress ([`try_run_multi`] surfaces those failures as typed
 /// [`SimError`]s instead).
+#[deprecated(note = "use SimSession::new(cfg).instructions(insts).run(programs)")]
 pub fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
+    #[allow(deprecated)]
     try_run_multi(programs, cfg, insts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`run_multi`], but a watchdog abort or exhausted cycle budget
 /// comes back as a [`SimError`] value instead of a panic, so batch
 /// harnesses can report the failure and keep sweeping.
+#[deprecated(note = "use SimSession::new(cfg).instructions(insts).run(programs)")]
 pub fn try_run_multi(
     programs: &[Program],
     cfg: &SimConfig,
     insts: u64,
 ) -> Result<Vec<RunResult>, SimError> {
-    try_run_multi_impl(programs, cfg, insts).map(|t| t.0)
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run(programs)
+        .map(|out| out.results)
 }
 
 /// Single-program convenience wrapper around [`try_run_multi`].
+#[deprecated(note = "use SimSession::new(cfg).instructions(insts).run_one(program)")]
 pub fn try_run_single(program: &Program, cfg: &SimConfig, insts: u64) -> Result<RunResult, SimError> {
+    #[allow(deprecated)]
     try_run_multi(std::slice::from_ref(program), cfg, insts)
         .map(|mut v| v.pop().expect("one result"))
 }
@@ -235,18 +244,27 @@ fn snapshot_cores(cores: &[Core], mem: &MemorySystem, now: u64) -> DiagSnapshot 
     }
 }
 
-/// Everything one CMP run produces: per-core results, the optional
-/// lifecycle trace, and the interval timeline.
-type RunOutput = (Vec<RunResult>, Option<TraceSink>, Vec<TimelineSample>);
+/// Everything one CMP run produces, in raw form: per-core results, the
+/// optional lifecycle trace sink, and the interval timeline.
+/// [`crate::SimSession`] wraps this into the public
+/// [`crate::session::RunOutput`].
+pub(crate) type RawRunOutput = (Vec<RunResult>, Option<TraceSink>, Vec<TimelineSample>);
 
-fn try_run_multi_impl(
+pub(crate) fn run_impl(
     programs: &[Program],
     cfg: &SimConfig,
     insts: u64,
-) -> Result<RunOutput, SimError> {
+) -> Result<RawRunOutput, SimError> {
     assert!(!programs.is_empty(), "need at least one program");
     assert!(insts > 0, "need a nonzero instruction quota");
     let n = programs.len();
+    // Hand multi-threaded untraced runs to the parallel engine; it is
+    // byte-identical to the sequential path below for any worker count.
+    // Traced runs stay sequential (the trace sink is single-threaded).
+    let workers = crate::parallel::effective_workers(cfg, n);
+    if workers > 1 && !cfg.trace.enabled {
+        return crate::parallel::try_run_multi_parallel(programs, cfg, insts, workers);
+    }
     let mut mem = MemorySystem::new(cfg.hierarchy(n));
     let mut cores: Vec<Core> = programs
         .iter()
@@ -273,6 +291,12 @@ fn try_run_multi_impl(
 
     // ---- warmup ----
     loop {
+        // Install every fill due by `now` before any core steps. Fills are
+        // always scheduled strictly in the future, so the per-access drains
+        // inside the hierarchy become no-ops for the rest of the cycle and
+        // the install point is cycle-aligned — the anchor the parallel
+        // engine's coordinator replicates (see DESIGN.md §12).
+        mem.drain(now);
         if !fault_on {
             for c in cores.iter_mut() {
                 c.cycle(now, &mut mem);
@@ -350,6 +374,7 @@ fn try_run_multi_impl(
     let mut remaining = n;
 
     while remaining > 0 {
+        mem.drain(now);
         if !fault_on {
             for c in cores.iter_mut() {
                 c.cycle(now, &mut mem);
@@ -431,7 +456,9 @@ fn try_run_multi_impl(
 }
 
 /// Runs a single program to `insts` measured instructions.
+#[deprecated(note = "use SimSession::new(cfg).instructions(insts).run_one(program)")]
 pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    #[allow(deprecated)]
     run_multi(std::slice::from_ref(program), cfg, insts)
         .pop()
         .expect("one result")
@@ -443,25 +470,25 @@ pub fn run_single(program: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
 ///
 /// The timing results are identical to an untraced [`run_multi`] of the
 /// same configuration — tracing only observes.
+#[deprecated(note = "use SimSession::new(cfg).trace(true).instructions(insts).run(programs)")]
 pub fn run_multi_traced(programs: &[Program], cfg: &SimConfig, insts: u64) -> TracedRun {
-    let mut cfg = cfg.clone();
-    cfg.trace.enabled = true;
-    let (results, sink, _) =
-        try_run_multi_impl(programs, &cfg, insts).unwrap_or_else(|e| panic!("{e}"));
-    let sink = sink.expect("tracing was forced on");
-    let (events, mut lifecycle) = sink.into_parts();
-    // A core that never emitted an event has no per-core slot yet; pad so
-    // `lifecycle[i]` is valid for every core.
-    lifecycle.resize(programs.len(), LifecycleCounts::default());
+    let out = SimSession::new(cfg.clone())
+        .trace(true)
+        .instructions(insts)
+        .run(programs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let trace = out.trace.expect("tracing was forced on");
     TracedRun {
-        results,
-        events,
-        lifecycle,
+        results: out.results,
+        events: trace.events,
+        lifecycle: trace.lifecycle,
     }
 }
 
 /// Single-program convenience wrapper around [`run_multi_traced`].
+#[deprecated(note = "use SimSession::new(cfg).trace(true).instructions(insts).run_one(program)")]
 pub fn run_single_traced(program: &Program, cfg: &SimConfig, insts: u64) -> TracedRun {
+    #[allow(deprecated)]
     run_multi_traced(std::slice::from_ref(program), cfg, insts)
 }
 
@@ -485,20 +512,30 @@ pub struct CpiRun {
 ///
 /// The timing results are identical to an unaccounted [`run_multi`] of the
 /// same configuration — accounting only observes.
+#[deprecated(note = "use SimSession::new(cfg).cpi(true).instructions(insts).run(programs)")]
 pub fn run_multi_cpi(programs: &[Program], cfg: &SimConfig, insts: u64) -> CpiRun {
-    let mut cfg = cfg.clone();
-    cfg.cpi.enabled = true;
-    let (results, _, timeline) =
-        try_run_multi_impl(programs, &cfg, insts).unwrap_or_else(|e| panic!("{e}"));
-    CpiRun { results, timeline }
+    let out = SimSession::new(cfg.clone())
+        .cpi(true)
+        .instructions(insts)
+        .run(programs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    CpiRun {
+        results: out.results,
+        timeline: out.timeline,
+    }
 }
 
 /// Single-program convenience wrapper around [`run_multi_cpi`].
+#[deprecated(note = "use SimSession::new(cfg).cpi(true).instructions(insts).run_one(program)")]
 pub fn run_single_cpi(program: &Program, cfg: &SimConfig, insts: u64) -> CpiRun {
+    #[allow(deprecated)]
     run_multi_cpi(std::slice::from_ref(program), cfg, insts)
 }
 
 #[cfg(test)]
+// The deprecated wrappers are exercised deliberately: they must keep their
+// historical behaviour until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::PrefetcherKind;

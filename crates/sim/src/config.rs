@@ -119,6 +119,10 @@ pub struct SimConfig {
     pub l3_ways: usize,
     /// Shared L3 latency.
     pub l3_latency: u64,
+    /// Address-interleaved L3 banks (NUCA-style; 1 = monolithic LLC,
+    /// bit-identical to the unbanked model). Large-core-count scale-out
+    /// configs raise this so LLC capacity pressure stays realistic.
+    pub l3_banks: usize,
     /// DRAM parameters.
     pub dram: DramConfig,
     /// L1D demand MSHR entries.
@@ -157,6 +161,18 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Deterministic fault injection (testing only; defaults off).
     pub fault: FaultInjection,
+    /// Worker threads for stepping cores (1 = the classic sequential
+    /// engine). More than one selects the deterministic parallel engine,
+    /// whose results are byte-identical to sequential at any thread count;
+    /// the effective count is capped at the core count and, unless
+    /// [`SimConfig::force_os_threads`] is set, at the host's available
+    /// parallelism.
+    pub threads: usize,
+    /// Spawn exactly [`SimConfig::threads`] OS threads even when the host
+    /// reports less parallelism (testing: exercises real cross-thread
+    /// interleavings on small hosts). Hidden knob, defaults off.
+    #[doc(hidden)]
+    pub force_os_threads: bool,
 }
 
 impl SimConfig {
@@ -187,6 +203,7 @@ impl SimConfig {
             l3_bytes_per_core: 2 * 1024 * 1024,
             l3_ways: 16,
             l3_latency: 20,
+            l3_banks: 1,
             dram: DramConfig::baseline(),
             l1d_mshrs: 4,
             prefetch_buffers: 32,
@@ -199,6 +216,8 @@ impl SimConfig {
             watchdog_cycles: 1_000_000,
             max_cycles: 0,
             fault: FaultInjection::default(),
+            threads: 1,
+            force_os_threads: false,
         }
     }
 
@@ -246,6 +265,21 @@ impl SimConfig {
     /// Baseline with different DRAM parameters (the ext_dram sweep).
     pub fn with_dram(mut self, dram: DramConfig) -> Self {
         self.dram = dram;
+        self
+    }
+
+    /// Baseline with an address-interleaved (banked) L3.
+    pub fn with_l3_banks(mut self, banks: usize) -> Self {
+        assert!(banks > 0);
+        self.l3_banks = banks;
+        self
+    }
+
+    /// Baseline with a worker-thread count for core stepping (results are
+    /// byte-identical at any count; see `SimSession::threads`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
         self
     }
 
@@ -303,6 +337,7 @@ impl SimConfig {
                 self.l3_ways,
                 self.l3_latency,
             ),
+            l3_banks: self.l3_banks,
             dram: self.dram,
             l1d_mshrs: self.l1d_mshrs,
             prefetch_buffers: self.prefetch_buffers,

@@ -26,7 +26,7 @@ use bfetch_bpred::{
 };
 use bfetch_core::{BFetchEngine, DecodedBranch};
 use bfetch_isa::{ArchState, OpClass, Program};
-use bfetch_mem::{AccessKind, HitLevel, MemStats, MemorySystem};
+use bfetch_mem::{AccessKind, HitLevel, MemStats, MemoryInterface};
 use bfetch_prefetch::{AccessEvent, Isb, NextN, PrefetchRequest, Prefetcher, Sms, Stride};
 use bfetch_stats::cpi::{CpiComponent, CpiConfig, CpiStack, TimelineSample};
 use bfetch_stats::trace::{TraceKind, Tracer};
@@ -188,6 +188,15 @@ pub struct Core {
     counters: CoreCounters,
     tracer: Tracer,
     cpi: Option<Box<CpiAccounting>>,
+    // allocation recycling for the per-instruction hot path: retired
+    // waiter lists and branch register snapshots go back into these pools
+    // instead of the allocator (bounded, so a pathological phase cannot
+    // hoard memory)
+    waiter_pool: Vec<Vec<u64>>,
+    // Vec<Box<..>> is the point: the pool recycles the *boxes*, so a pop
+    // hands back an existing allocation instead of re-boxing 256 bytes
+    #[allow(clippy::vec_box)]
+    snap_pool: Vec<Box<[u64; 32]>>,
 }
 
 impl std::fmt::Debug for Core {
@@ -251,6 +260,8 @@ impl Core {
             counters: CoreCounters::default(),
             tracer: Tracer::disabled(),
             cpi: None,
+            waiter_pool: Vec::new(),
+            snap_pool: Vec::new(),
             params: CoreParams::of(cfg),
         }
     }
@@ -299,7 +310,7 @@ impl Core {
     /// Captures this core's machine state for a watchdog abort report:
     /// where the pipeline is wedged (ROB head, prefetch queues, MSHRs,
     /// frontend stall), cheap enough to take once per abort.
-    pub fn diag(&self, mem: &MemorySystem) -> crate::error::CoreDiag {
+    pub fn diag<M: MemoryInterface>(&self, mem: &M) -> crate::error::CoreDiag {
         crate::error::CoreDiag {
             core: self.id,
             committed: self.counters.committed,
@@ -330,7 +341,7 @@ impl Core {
     /// Called by the run harness right after warmup so the stack covers
     /// exactly the measurement window. `mem` seeds the sampler's
     /// interval-delta baselines.
-    pub fn enable_cpi(&mut self, cfg: &CpiConfig, mem: &MemorySystem) {
+    pub fn enable_cpi<M: MemoryInterface>(&mut self, cfg: &CpiConfig, mem: &M) {
         if !cfg.enabled {
             return;
         }
@@ -369,7 +380,7 @@ impl Core {
     }
 
     /// Advances this core by one cycle.
-    pub fn cycle(&mut self, now: u64, mem: &mut MemorySystem) {
+    pub fn cycle<M: MemoryInterface>(&mut self, now: u64, mem: &mut M) {
         if now & 1023 == 0 {
             self.issue_ports.release_before(now, 1024);
             self.mem_ports.release_before(now, 1024);
@@ -393,7 +404,7 @@ impl Core {
     /// the interval sampler. Only called while accounting is enabled; with
     /// `cpi == None` the cycle loop pays a single branch, keeping disabled
     /// runs on the pre-accounting hot path.
-    fn account_cycle(&mut self, now: u64, committed: usize, rob_was_full: bool, mem: &MemorySystem) {
+    fn account_cycle<M: MemoryInterface>(&mut self, now: u64, committed: usize, rob_was_full: bool, mem: &M) {
         let cause = if committed < self.params.commit_width {
             self.classify_stall(now, rob_was_full)
         } else {
@@ -532,7 +543,7 @@ impl Core {
     /// the dependence chains inside the ROB window; each waiter list is
     /// taken exactly once, so no work queue (or its allocation) is needed.
     fn on_scheduled(&mut self, seq: u64) {
-        let (complete, waiters, dest, val) = {
+        let (complete, mut waiters, dest, val) = {
             let Some(e) = self.entry(seq) else { return };
             debug_assert!(e.scheduled);
             (e.complete_at, std::mem::take(&mut e.waiters), e.dest, e.dest_val)
@@ -543,7 +554,7 @@ impl Core {
                 engine.post_regwrite(d as usize, val, seq, complete);
             }
         }
-        for w in waiters {
+        for &w in &waiters {
             let mut now_ready = false;
             if let Some(we) = self.entry(w) {
                 we.ready_at = we.ready_at.max(complete);
@@ -554,9 +565,13 @@ impl Core {
                 self.try_schedule(w, complete);
             }
         }
+        if waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
+            waiters.clear();
+            self.waiter_pool.push(waiters);
+        }
     }
 
-    fn process_pending_mem(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn process_pending_mem<M: MemoryInterface>(&mut self, now: u64, mem: &mut M) {
         while let Some(&Reverse((t, seq))) = self.pending_mem.peek() {
             if t > now {
                 break;
@@ -622,7 +637,7 @@ impl Core {
                 break;
             }
             committed += 1;
-            let fi = self.rob.pop_front().expect("front exists");
+            let mut fi = self.rob.pop_front().expect("front exists");
             self.rob_base += 1;
             self.counters.committed += 1;
             if self.params.arf_at_retire {
@@ -651,7 +666,7 @@ impl Core {
                 if fi.taken {
                     self.btb.install(fi.pc, fi.taken_target);
                 }
-                if let (Some(engine), Some(snap)) = (self.engine.as_mut(), fi.regs_snapshot) {
+                if let (Some(engine), Some(snap)) = (self.engine.as_mut(), fi.regs_snapshot.take()) {
                     engine.on_commit_branch(
                         fi.pc,
                         fi.is_cond,
@@ -660,6 +675,9 @@ impl Core {
                         fi.fallthrough,
                         &snap,
                     );
+                    if self.snap_pool.len() < 192 {
+                        self.snap_pool.push(snap);
+                    }
                 }
             } else if fi.is_load {
                 if let Some(engine) = self.engine.as_mut() {
@@ -690,7 +708,7 @@ impl Core {
         }
     }
 
-    fn fetch(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn fetch<M: MemoryInterface>(&mut self, now: u64, mem: &mut M) {
         if self.fetch_blocked_by.is_some() || now < self.fetch_stall_until {
             return;
         }
@@ -731,7 +749,7 @@ impl Core {
                 unresolved: 0,
                 scheduled: false,
                 complete_at: u64::MAX,
-                waiters: Vec::new(),
+                waiters: self.waiter_pool.pop().unwrap_or_default(),
                 dest: inst.dst().map(|r| r.index() as u8),
                 dest_val: inst.dst().map_or(0, |r| self.arch.reg(r)),
                 is_branch: inst.is_branch(),
@@ -782,7 +800,16 @@ impl Core {
                         self.fetch_stall_reason = FetchStallReason::Btb;
                     }
                 }
-                fi.regs_snapshot = Some(Box::new(*self.arch.regs()));
+                // the snapshot feeds the engine's MHT training at commit;
+                // without an engine nothing reads it, so skip the copy
+                if self.engine.is_some() {
+                    let mut snap = self
+                        .snap_pool
+                        .pop()
+                        .unwrap_or_else(|| Box::new([0u64; 32]));
+                    *snap = *self.arch.regs();
+                    fi.regs_snapshot = Some(snap);
+                }
                 let confidence = self.conf.estimate(pc, ghr_before, fi.pred_strength);
                 if fi.is_cond {
                     self.tracer.emit(
@@ -887,7 +914,7 @@ impl Core {
 
     // ---- prefetch issue ----------------------------------------------------
 
-    fn prefetch_tick(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn prefetch_tick<M: MemoryInterface>(&mut self, now: u64, mem: &mut M) {
         let per_cycle = self.params.prefetch_issue_per_cycle;
         if let Some(engine) = self.engine.as_mut() {
             engine.tick(now, self.bp.as_ref(), &self.conf);
@@ -917,13 +944,17 @@ enum LatClass {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cmp::run_single;
+    use crate::session::SimSession;
     use bfetch_isa::{ProgramBuilder, Reg};
 
     fn quick(cfg: &SimConfig, p: &Program, insts: u64) -> crate::cmp::RunResult {
         let mut c = cfg.clone();
         c.warmup_insts = 2_000;
-        run_single(p, &c, insts)
+        SimSession::new(c)
+            .instructions(insts)
+            .run_one(p)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_single()
     }
 
     /// An L1-resident ALU loop: IPC approaches (but never exceeds) the

@@ -132,8 +132,8 @@ pub fn estimate(r: &RunResult, prefetcher_storage_kb: f64, params: &EnergyParams
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cmp::run_single;
     use crate::config::{PrefetcherKind, SimConfig};
+    use crate::session::SimSession;
     use bfetch_isa::{ProgramBuilder, Reg};
 
     fn stream() -> bfetch_isa::Program {
@@ -153,7 +153,11 @@ mod tests {
     fn run(kind: PrefetcherKind) -> RunResult {
         let mut cfg = SimConfig::baseline().with_prefetcher(kind);
         cfg.warmup_insts = 3_000;
-        run_single(&stream(), &cfg, 20_000)
+        SimSession::new(cfg)
+            .instructions(20_000)
+            .run_one(&stream())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_single()
     }
 
     #[test]

@@ -34,14 +34,18 @@ pub mod config;
 pub mod core;
 pub mod energy;
 pub mod error;
+mod parallel;
 pub mod ports;
+pub mod session;
 
 pub use analysis::{delta_cdfs, DeltaCdfs};
 pub use bfetch_stats::{CpiComponent, CpiConfig, CpiStack, TimelineSample, TraceConfig};
+#[allow(deprecated)]
 pub use cmp::{
     run_multi, run_multi_cpi, run_multi_traced, run_single, run_single_cpi, run_single_traced,
     try_run_multi, try_run_single, CpiRun, RunResult, TracedRun,
 };
+pub use session::{RunOutput, SimSession, TraceOutput};
 pub use config::{FaultInjection, PredictorKind, PrefetcherKind, SimConfig};
 pub use error::{CoreDiag, DiagSnapshot, RobHeadDiag, SimError};
 pub use core::{Core, CoreCounters};

@@ -1,0 +1,489 @@
+//! The parallel CMP engine: cores step concurrently across OS worker
+//! threads under a deterministic cycle barrier.
+//!
+//! # Execution model
+//!
+//! Each simulated cycle runs in two phases separated by barriers:
+//!
+//! 1. **Coordinator phase** (single-threaded, between cycles): installs
+//!    every fill due this cycle in canonical `(complete_at, seq)` order via
+//!    [`drain_chip`], delivers prefetch feedback from the previous cycle to
+//!    the engines, runs the quota/watchdog/budget bookkeeping, and resets
+//!    the shared-turn protocol.
+//! 2. **Step phase** (parallel): worker `w` steps cores `w, w+W, w+2W, …`
+//!    in ascending order. Private pipeline + L1/L2 activity proceeds
+//!    concurrently; every operation that touches the shared L3/DRAM blocks
+//!    on a [`TurnGate`] until the turn counter reaches the core's id, so
+//!    shared-level interactions resolve in canonical core order.
+//!
+//! # Why this is byte-identical to the sequential engine
+//!
+//! * Fills complete strictly in the future (`complete_at ≥ now + 2`), so
+//!   installing them only at cycle start — coordinator phase — observes the
+//!   same state the sequential engine's cycle-start drain does, and the
+//!   per-access drains the sequential facade performs mid-cycle are no-ops.
+//! * Shared-level calls are serialized in core order by the turn gate, so
+//!   DRAM channel scheduling, L3 LRU updates, and shared fill sequence
+//!   numbers come out exactly as in sequential core-order stepping.
+//! * Per-core state (pipeline, L1/L2, MSHRs, private fill queue, feedback
+//!   queue, stats) is touched only by the owning worker during the step
+//!   phase and only by the coordinator between barriers; the barriers'
+//!   happens-before edges make the handoff race-free.
+//! * Feedback is delivered by the coordinator in core order at end of
+//!   cycle — the same point, and the same per-core `[drain events] ++
+//!   [step events]` order, as the sequential engine.
+//!
+//! The cross-thread-count determinism tests in this module's test suite and
+//! `crates/sim/tests/` pin this equivalence against golden fixtures.
+//!
+//! # Panic containment
+//!
+//! A panic inside a worker (e.g. injected faults in tests, or a genuine
+//! model bug) is caught at the core-step boundary; the worker poisons the
+//! shared turn, which wakes and unwinds every gate-blocked peer, all
+//! workers converge on the cycle-end barrier, and the coordinator surfaces
+//! the first panic as [`SimError::CorePanic`] instead of crashing the
+//! process.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::cmp::{hist_delta, RawRunOutput, RunResult, Snapshot};
+use crate::config::SimConfig;
+use crate::core::Core;
+use bfetch_isa::Program;
+use bfetch_mem::{
+    drain_chip, AccessKind, AccessOutcome, ChipGuard, CoreMem, CoreProbe, CoreSet, MemStats,
+    MemoryInterface, MemorySystem, SharedTurn, TurnGate,
+};
+use crate::error::{DiagSnapshot, SimError};
+
+/// One core's worth of parallel-stepped state: the pipeline plus the
+/// private memory hierarchy it owns exclusively during the step phase.
+struct Slot {
+    core: Core,
+    mem: CoreMem,
+}
+
+/// The per-core slots, shared across worker threads.
+///
+/// `Slot` is not `Sync` (the tracer handle inside `Core`/`CoreMem` is
+/// `Rc`-based), but parallel runs never install a tracer — the handles stay
+/// in their empty `disabled` state, holding no `Rc` at all — and every
+/// other field is plain owned data. Exclusive access is guaranteed by the
+/// phase discipline: during a step phase each slot is touched only by its
+/// owning worker, and between barriers only by the coordinator.
+struct PhaseCells(Vec<UnsafeCell<Slot>>);
+
+// SAFETY: see the struct docs — slots hold no cross-thread-shared interior
+// state, and the barrier protocol gives each slot a single exclusive
+// accessor at every point in time.
+unsafe impl Sync for PhaseCells {}
+
+impl PhaseCells {
+    /// # Safety
+    ///
+    /// The caller must hold exclusive access to slot `i` under the phase
+    /// discipline (owning worker during a step phase, coordinator between
+    /// barriers) and must not let two returned references to the same slot
+    /// coexist.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, i: usize) -> &mut Slot {
+        &mut *self.0[i].get()
+    }
+}
+
+/// Coordinator-phase view of every core's private hierarchy, for
+/// [`drain_chip`].
+struct CellCores<'a> {
+    cells: &'a PhaseCells,
+}
+
+impl CoreSet for CellCores<'_> {
+    fn len(&self) -> usize {
+        self.cells.0.len()
+    }
+
+    fn core_mut(&mut self, i: usize) -> &mut CoreMem {
+        // SAFETY: CellCores is only constructed in the coordinator phase,
+        // where no worker is stepping; `&mut self` serializes the returned
+        // borrows.
+        unsafe { &mut self.cells.slot(i).mem }
+    }
+}
+
+/// The memory system as one worker-stepped core sees it: its private
+/// hierarchy directly, the shared levels through the turn gate.
+struct WorkerMem<'a, 'b> {
+    mem: &'a mut CoreMem,
+    gate: TurnGate<'b>,
+}
+
+impl MemoryInterface for WorkerMem<'_, '_> {
+    fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.access(&mut self.gate, kind, addr, now)
+    }
+
+    fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.prefetch(&mut self.gate, addr, pc_hash, now)
+    }
+
+    fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64> {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.prefetch_inst(&mut self.gate, addr, now)
+    }
+
+    fn stats(&self, core: usize) -> &MemStats {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.stats()
+    }
+
+    fn mshr_live(&self, core: usize) -> usize {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.mshr_live()
+    }
+
+    fn pf_mshr_live(&self, core: usize) -> usize {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.pf_mshr_live()
+    }
+}
+
+/// How many worker threads a run will actually use: the configured count,
+/// clamped to the host's parallelism (unless `force_os_threads` — the test
+/// suite's hook for exercising real OS threads on small hosts) and to the
+/// core count (extra workers would just idle at the barriers).
+pub(crate) fn effective_workers(cfg: &SimConfig, n_cores: usize) -> usize {
+    let requested = cfg.threads.max(1);
+    let clamped = if cfg.force_os_threads {
+        requested
+    } else {
+        requested.min(
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+        )
+    };
+    clamped.min(n_cores)
+}
+
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Everything the worker threads share with the coordinator.
+struct Ctx<'a> {
+    cells: &'a PhaseCells,
+    turn: &'a SharedTurn,
+    /// Released by the coordinator to start a step phase (or, with `stop`
+    /// set, to shut the workers down).
+    start: &'a Barrier,
+    /// Reached by every worker when its cores have stepped.
+    end: &'a Barrier,
+    stop: &'a AtomicBool,
+    frozen: &'a AtomicBool,
+    now: &'a AtomicU64,
+}
+
+fn worker_loop(ctx: &Ctx<'_>, w: usize, workers: usize, panic_at_insts: u64) {
+    let n = ctx.cells.0.len();
+    loop {
+        ctx.start.wait();
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = ctx.now.load(Ordering::SeqCst);
+        if !ctx.frozen.load(Ordering::SeqCst) {
+            for i in (w..n).step_by(workers) {
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: cores are partitioned by `i % workers == w`,
+                    // so this worker is slot i's only accessor during the
+                    // step phase.
+                    let Slot { core, mem } = unsafe { ctx.cells.slot(i) };
+                    let mut wm = WorkerMem {
+                        mem,
+                        gate: ctx.turn.gate(i),
+                    };
+                    core.cycle(now, &mut wm);
+                    let done = core.counters().committed;
+                    if panic_at_insts > 0 && done >= panic_at_insts {
+                        panic!(
+                            "injected fault: core panicked after {done} committed instructions \
+                             (panic_at_insts={panic_at_insts})"
+                        );
+                    }
+                }));
+                match stepped {
+                    Ok(()) => ctx.turn.finish_core(i),
+                    Err(p) => {
+                        ctx.turn.poison(i, panic_payload(p));
+                        break;
+                    }
+                }
+            }
+        }
+        ctx.end.wait();
+    }
+}
+
+fn snapshot_cells(cells: &PhaseCells, now: u64) -> DiagSnapshot {
+    DiagSnapshot {
+        cycle: now,
+        cores: (0..cells.0.len())
+            .map(|i| {
+                // SAFETY: coordinator phase; exclusive access.
+                let slot = unsafe { cells.slot(i) };
+                slot.core.diag(&CoreProbe(&slot.mem))
+            })
+            .collect(),
+    }
+}
+
+/// The parallel counterpart of `cmp::try_run_multi_impl`, stepping cores
+/// across `workers` OS threads. Requires tracing to be disabled (traced
+/// runs fall back to the sequential engine) and produces byte-identical
+/// results, CPI stacks, and timelines for any worker count.
+pub(crate) fn try_run_multi_parallel(
+    programs: &[Program],
+    cfg: &SimConfig,
+    insts: u64,
+    workers: usize,
+) -> Result<RawRunOutput, SimError> {
+    assert!(!programs.is_empty(), "need at least one program");
+    assert!(insts > 0, "need a nonzero instruction quota");
+    assert!(!cfg.trace.enabled, "traced runs use the sequential engine");
+    let n = programs.len();
+    let (core_mems, shared) = MemorySystem::new(cfg.hierarchy(n)).into_parts();
+    let cells = PhaseCells(
+        programs
+            .iter()
+            .zip(core_mems)
+            .enumerate()
+            .map(|(i, (p, mem))| {
+                UnsafeCell::new(Slot {
+                    core: Core::new(i, p.clone(), cfg),
+                    mem,
+                })
+            })
+            .collect(),
+    );
+    let turn = SharedTurn::new(shared, n);
+    let mut guard = ChipGuard::new();
+
+    let hard_cap: u64 = if cfg.max_cycles > 0 {
+        cfg.max_cycles
+    } else {
+        (cfg.warmup_insts + insts) * 600 + 4_000_000
+    };
+    let wd = cfg.watchdog_cycles;
+    let mut wd_deadline: u64 = if wd > 0 { wd } else { u64::MAX };
+    let mut wd_committed: u64 = 0;
+    let fault_on = cfg.fault.active();
+    let mut frozen = false;
+
+    let start = Barrier::new(workers + 1);
+    let end = Barrier::new(workers + 1);
+    let stop = AtomicBool::new(false);
+    let frozen_flag = AtomicBool::new(false);
+    let now_cell = AtomicU64::new(0);
+    let ctx = Ctx {
+        cells: &cells,
+        turn: &turn,
+        start: &start,
+        end: &end,
+        stop: &stop,
+        frozen: &frozen_flag,
+        now: &now_cell,
+    };
+
+    let results = std::thread::scope(|s| -> Result<Vec<RunResult>, SimError> {
+        for w in 0..workers {
+            let ctx = &ctx;
+            s.spawn(move || worker_loop(ctx, w, workers, cfg.fault.panic_at_insts));
+        }
+
+        let run = (|| -> Result<Vec<RunResult>, SimError> {
+            let mut now: u64 = 0;
+            // `None` while warming up; snapshots mark the measurement window.
+            let mut snaps: Option<Vec<Snapshot>> = None;
+            let mut finished: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+            let mut remaining = n;
+
+            loop {
+                // ---- coordinator phase ----
+                turn.begin_cycle();
+                turn.with_shared(|sh| {
+                    drain_chip(&mut CellCores { cells: &cells }, sh, now, &mut guard)
+                });
+                now_cell.store(now, Ordering::SeqCst);
+                start.wait();
+                // ---- step phase: workers run cycle `now` ----
+                end.wait();
+                if let Some((core, message)) = turn.take_panic() {
+                    return Err(SimError::CorePanic {
+                        core,
+                        cycle: now,
+                        message,
+                    });
+                }
+                // End-of-cycle bookkeeping, in canonical core order: engine
+                // feedback (same delivery point as the sequential engine)
+                // and the chip guard's earliest-event notes.
+                for i in 0..n {
+                    // SAFETY: coordinator phase; exclusive access.
+                    let Slot { core, mem } = unsafe { cells.slot(i) };
+                    mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
+                    guard.note(mem.take_sched_min());
+                }
+                if fault_on && !frozen && cfg.fault.freeze_at_insts > 0 {
+                    let hit = (0..n).any(|i| {
+                        // SAFETY: coordinator phase; exclusive access.
+                        let slot = unsafe { cells.slot(i) };
+                        slot.core.counters().committed >= cfg.fault.freeze_at_insts
+                    });
+                    if hit {
+                        frozen = true;
+                        frozen_flag.store(true, Ordering::SeqCst);
+                    }
+                }
+                now += 1;
+
+                match &snaps {
+                    None => {
+                        let warmed = (0..n).all(|i| {
+                            // SAFETY: coordinator phase; exclusive access.
+                            let slot = unsafe { cells.slot(i) };
+                            slot.core.counters().committed >= cfg.warmup_insts
+                        });
+                        if warmed {
+                            // Measurement starts: CPI accounting switches on
+                            // and the window baselines are snapshotted at
+                            // the same cycle the sequential engine does.
+                            // (No tracer: traced runs are sequential-only.)
+                            if cfg.cpi.enabled {
+                                for i in 0..n {
+                                    // SAFETY: coordinator phase.
+                                    let Slot { core, mem } = unsafe { cells.slot(i) };
+                                    core.enable_cpi(&cfg.cpi, &CoreProbe(mem));
+                                }
+                            }
+                            snaps = Some(
+                                (0..n)
+                                    .map(|i| {
+                                        // SAFETY: coordinator phase.
+                                        let Slot { core, mem } = unsafe { cells.slot(i) };
+                                        Snapshot {
+                                            committed: core.counters().committed,
+                                            counters: *core.counters(),
+                                            mem: *mem.stats(),
+                                            engine: core.engine().map(|e| *e.stats()),
+                                            pf_metadata: core.pf_metadata_bytes(),
+                                            cycle: now,
+                                        }
+                                    })
+                                    .collect(),
+                            );
+                            // The sequential warmup loop breaks before its
+                            // watchdog/budget checks on the completing
+                            // cycle; mirror that.
+                            continue;
+                        }
+                    }
+                    Some(snaps) => {
+                        for i in 0..n {
+                            if finished[i].is_some() {
+                                continue;
+                            }
+                            // SAFETY: coordinator phase; exclusive access.
+                            let Slot { core, mem } = unsafe { cells.slot(i) };
+                            let snap = &snaps[i];
+                            if core.counters().committed - snap.committed >= insts {
+                                let counters = core.counters();
+                                finished[i] = Some(RunResult {
+                                    workload: core.program_name().to_string(),
+                                    prefetcher: cfg.prefetcher.name(),
+                                    cycles: now - snap.cycle,
+                                    instructions: counters.committed - snap.committed,
+                                    mem: mem.stats().delta(&snap.mem),
+                                    cond_branches: counters.cond_branches
+                                        - snap.counters.cond_branches,
+                                    mispredicts: counters.mispredicts - snap.counters.mispredicts,
+                                    branch_fetch_hist: hist_delta(
+                                        &counters.branch_fetch_hist,
+                                        &snap.counters.branch_fetch_hist,
+                                    ),
+                                    engine: core
+                                        .engine()
+                                        .map(|e| e.stats().delta(&snap.engine.expect("snapshot taken"))),
+                                    pf_metadata_bytes: core.pf_metadata_bytes() - snap.pf_metadata,
+                                    cpi: core.cpi_stack().copied(),
+                                });
+                                remaining -= 1;
+                            }
+                        }
+                        if remaining == 0 {
+                            break;
+                        }
+                    }
+                }
+                if now >= wd_deadline {
+                    let total: u64 = (0..n)
+                        .map(|i| {
+                            // SAFETY: coordinator phase; exclusive access.
+                            unsafe { cells.slot(i) }.core.counters().committed
+                        })
+                        .sum();
+                    if total == wd_committed {
+                        return Err(SimError::Watchdog {
+                            cycle: now,
+                            idle_cycles: wd,
+                            snapshot: snapshot_cells(&cells, now),
+                        });
+                    }
+                    wd_committed = total;
+                    wd_deadline = now + wd;
+                }
+                if now >= hard_cap {
+                    return Err(SimError::CycleBudget {
+                        phase: if snaps.is_none() {
+                            "warmup"
+                        } else {
+                            "measurement"
+                        },
+                        cycle: now,
+                        limit: hard_cap,
+                    });
+                }
+            }
+
+            Ok(finished
+                .into_iter()
+                .map(|r| r.expect("all finished"))
+                .collect())
+        })();
+
+        // Whatever happened, park the workers at the start barrier and
+        // release them with `stop` set so the scope can join them.
+        stop.store(true, Ordering::SeqCst);
+        start.wait();
+        run
+    })?;
+
+    let timeline = cells
+        .0
+        .into_iter()
+        .map(UnsafeCell::into_inner)
+        .flat_map(|mut slot| slot.core.take_timeline())
+        .collect();
+    Ok((results, None, timeline))
+}

@@ -1,0 +1,281 @@
+//! The unified run API: one builder, one output type.
+//!
+//! Historically the run surface was ten free functions — `run_single` /
+//! `run_multi` crossed with plain / `_traced` / `_cpi` variants and `try_`
+//! prefixes. [`SimSession`] collapses them into a single builder:
+//!
+//! ```
+//! use bfetch_sim::{SimSession, SimConfig, PrefetcherKind};
+//! use bfetch_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.li(Reg::R1, 0x10_0000);
+//! let top = b.label();
+//! b.bind(top);
+//! b.load(Reg::R2, Reg::R1, 0);
+//! b.addi(Reg::R1, Reg::R1, 64);
+//! b.jmp(top);
+//! let program = b.finish();
+//!
+//! let mut cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+//! cfg.warmup_insts = 1_000;
+//! let out = SimSession::new(cfg)
+//!     .cpi(true)
+//!     .threads(1)
+//!     .instructions(2_000)
+//!     .run(std::slice::from_ref(&program))
+//!     .expect("run completes");
+//! assert_eq!(out.results.len(), 1);
+//! assert!(out.results[0].cpi.is_some());
+//! ```
+//!
+//! The toggles mirror the old variants: [`SimSession::trace`] is
+//! `run_multi_traced`, [`SimSession::cpi`] is `run_multi_cpi`, and the
+//! `Result` return is the `try_` prefix. [`SimSession::threads`] selects
+//! the deterministic parallel engine (see `crates/sim/src/parallel.rs`) —
+//! results are byte-identical for every thread count, so it is purely a
+//! wall-clock knob.
+
+use crate::cmp::RunResult;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use bfetch_isa::Program;
+use bfetch_stats::cpi::TimelineSample;
+use bfetch_stats::trace::{LifecycleCounts, TraceEvent};
+
+/// The lifecycle trace a traced run produces: the retained event window
+/// plus exact per-core tallies (immune to ring overflow).
+#[derive(Debug, Clone)]
+pub struct TraceOutput {
+    /// Retained trace events, oldest first (the ring keeps the most recent
+    /// [`TraceConfig::capacity`](crate::TraceConfig) events).
+    pub events: Vec<TraceEvent>,
+    /// Exact per-core lifecycle tallies; `lifecycle[i]` is valid for every
+    /// core `i`.
+    pub lifecycle: Vec<LifecycleCounts>,
+}
+
+/// Everything one run produces. `results` is always populated (one entry
+/// per program, in core order); the other fields reflect the session's
+/// toggles.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Per-core measurement results.
+    pub results: Vec<RunResult>,
+    /// The lifecycle trace, when [`SimSession::trace`] was enabled.
+    pub trace: Option<TraceOutput>,
+    /// Interval samples across all cores (each stamped with its core id),
+    /// when [`SimSession::cpi`] accounting was enabled; empty otherwise.
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl RunOutput {
+    /// The single result of a one-program run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had more than one core.
+    pub fn into_single(mut self) -> RunResult {
+        assert_eq!(self.results.len(), 1, "run had {} cores", self.results.len());
+        self.results.pop().expect("one result")
+    }
+}
+
+/// A configured simulation run, built once and executed with
+/// [`SimSession::run`].
+///
+/// The session owns a [`SimConfig`] copy; the builder methods adjust the
+/// toggles that used to be baked into separate entry-point functions.
+/// Everything else (prefetcher, cache geometry, warmup length, fault
+/// injection, …) is configured on the `SimConfig` before constructing the
+/// session.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    cfg: SimConfig,
+    insts: u64,
+}
+
+impl SimSession {
+    /// Starts a session from `cfg`. The measurement quota defaults to
+    /// unset; call [`SimSession::instructions`] before running.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { cfg, insts: 0 }
+    }
+
+    /// The configuration this session will run with (after builder
+    /// adjustments).
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Sets the per-core measurement quota: each core must commit this
+    /// many instructions after warmup.
+    pub fn instructions(mut self, insts: u64) -> Self {
+        self.insts = insts;
+        self
+    }
+
+    /// Enables (or disables) lifecycle tracing for the measurement window.
+    /// Traced runs execute on the sequential engine regardless of
+    /// [`SimSession::threads`] — the trace sink is single-threaded — and
+    /// timing results are identical either way: tracing only observes.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.cfg.trace.enabled = enabled;
+        self
+    }
+
+    /// Enables (or disables) CPI-stack cycle accounting: every result
+    /// carries the stack decomposing its measurement window, and the
+    /// interval sampler's time series comes back in
+    /// [`RunOutput::timeline`]. Timing results are identical either way:
+    /// accounting only observes.
+    pub fn cpi(mut self, enabled: bool) -> Self {
+        self.cfg.cpi.enabled = enabled;
+        self
+    }
+
+    /// Sets the worker-thread count for the deterministic parallel engine.
+    /// Results are byte-identical for every value (`1` = the sequential
+    /// engine); the request is clamped to the host's parallelism and the
+    /// core count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Runs `programs`, one per core, measuring
+    /// [`instructions`](SimSession::instructions) committed instructions
+    /// per core after the configured warmup. Cores that reach their quota
+    /// keep executing (continuing to contend for the shared LLC and DRAM)
+    /// until every core has finished, as in the paper's multiprogrammed
+    /// methodology.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] when no core commits for the configured
+    /// window, [`SimError::CycleBudget`] when the cycle cap is exhausted,
+    /// and [`SimError::CorePanic`] when a core panics inside a parallel
+    /// worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or the instruction quota was never
+    /// set.
+    pub fn run(&self, programs: &[Program]) -> Result<RunOutput, SimError> {
+        assert!(
+            self.insts > 0,
+            "set SimSession::instructions before running"
+        );
+        let n = programs.len();
+        let (results, sink, timeline) = crate::cmp::run_impl(programs, &self.cfg, self.insts)?;
+        let trace = sink.map(|s| {
+            let (events, mut lifecycle) = s.into_parts();
+            // A core that never emitted an event has no per-core slot yet;
+            // pad so `lifecycle[i]` is valid for every core.
+            lifecycle.resize(n, LifecycleCounts::default());
+            TraceOutput { events, lifecycle }
+        });
+        Ok(RunOutput {
+            results,
+            trace,
+            timeline,
+        })
+    }
+
+    /// Single-program convenience wrapper around [`SimSession::run`].
+    pub fn run_one(&self, program: &Program) -> Result<RunOutput, SimError> {
+        self.run(std::slice::from_ref(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherKind;
+    use bfetch_isa::{ProgramBuilder, Reg};
+
+    fn kernel() -> Program {
+        let mut b = ProgramBuilder::new("session-test");
+        let base = 0x100_0000u64;
+        b.li(Reg::R1, base as i64);
+        b.li(Reg::R2, (base + 64 * 1024) as i64);
+        let top = b.label();
+        b.bind(top);
+        b.load(Reg::R4, Reg::R1, 0);
+        b.add(Reg::R5, Reg::R5, Reg::R4);
+        b.addi(Reg::R1, Reg::R1, 64);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.finish()
+    }
+
+    fn cfg() -> SimConfig {
+        let mut c = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+        c.warmup_insts = 1_000;
+        c
+    }
+
+    #[test]
+    fn plain_run_has_no_trace_or_timeline() {
+        let out = SimSession::new(cfg())
+            .instructions(2_000)
+            .run_one(&kernel())
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert!(out.trace.is_none());
+        assert!(out.timeline.is_empty());
+        assert!(out.results[0].cpi.is_none());
+        assert!(out.results[0].instructions >= 2_000);
+    }
+
+    #[test]
+    fn toggles_populate_their_outputs() {
+        let mut c = cfg();
+        // Sample often enough that a 2k-instruction window produces points.
+        c.cpi.timeline_interval = 500;
+        let out = SimSession::new(c)
+            .trace(true)
+            .cpi(true)
+            .instructions(2_000)
+            .run_one(&kernel())
+            .unwrap();
+        let trace = out.trace.expect("trace toggled on");
+        assert_eq!(trace.lifecycle.len(), 1);
+        assert!(trace.lifecycle[0].issued > 0);
+        assert!(!out.timeline.is_empty());
+        assert!(out.results[0].cpi.is_some());
+    }
+
+    #[test]
+    fn into_single_unwraps_one_core() {
+        let out = SimSession::new(cfg())
+            .instructions(2_000)
+            .run_one(&kernel())
+            .unwrap();
+        let r = out.into_single();
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "instructions")]
+    fn missing_quota_is_a_loud_error() {
+        let _ = SimSession::new(cfg()).run_one(&kernel());
+    }
+
+    #[test]
+    fn toggles_do_not_change_timing() {
+        let plain = SimSession::new(cfg())
+            .instructions(2_000)
+            .run_one(&kernel())
+            .unwrap();
+        let observed = SimSession::new(cfg())
+            .trace(true)
+            .cpi(true)
+            .instructions(2_000)
+            .run_one(&kernel())
+            .unwrap();
+        assert_eq!(plain.results[0].cycles, observed.results[0].cycles);
+        assert_eq!(plain.results[0].mem, observed.results[0].mem);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cross-thread-count determinism: the parallel CMP engine must produce
+//! byte-identical results to the sequential engine for every worker count.
+//!
+//! `force_os_threads` makes the engine honour the requested thread count
+//! even on single-CPU hosts, so these tests exercise real OS-thread
+//! interleavings (and the turn-gate protocol) everywhere.
+
+use bfetch_isa::{Program, ProgramBuilder, Reg};
+use bfetch_sim::{PrefetcherKind, SimConfig, SimError, SimSession};
+
+/// Latency-bound streaming loads: one load per 64 B line plus per-line
+/// compute. Exercises the prefetch path and DRAM contention.
+fn stream(words: u64) -> Program {
+    let mut b = ProgramBuilder::new("det-stream");
+    let base = 0x100_0000u64;
+    b.li(Reg::R1, base as i64);
+    b.li(Reg::R2, (base + words * 8) as i64);
+    let top = b.label();
+    b.bind(top);
+    b.load(Reg::R4, Reg::R1, 0);
+    for _ in 0..6 {
+        b.add(Reg::R5, Reg::R5, Reg::R4);
+        b.xor(Reg::R6, Reg::R6, Reg::R5);
+    }
+    b.addi(Reg::R1, Reg::R1, 64);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    b.finish()
+}
+
+/// Large-stride loads that blow past the L2: keeps the shared L3 and DRAM
+/// channel arbitration busy.
+fn strided(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("det-strided");
+    let base = 0x400_0000u64;
+    b.li(Reg::R1, base as i64);
+    b.li(Reg::R2, (base + lines * 4096) as i64);
+    let top = b.label();
+    b.bind(top);
+    b.load(Reg::R4, Reg::R1, 0);
+    b.add(Reg::R5, Reg::R5, Reg::R4);
+    b.addi(Reg::R1, Reg::R1, 4096);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    b.finish()
+}
+
+/// Data-dependent branches over loaded values: exercises the predictor and
+/// the B-Fetch engine's lookahead without being memory-bound.
+fn branchy(iters: u64) -> Program {
+    let mut b = ProgramBuilder::new("det-branchy");
+    let base = 0x200_0000u64;
+    b.init_words(base, &[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]);
+    b.li(Reg::R1, base as i64);
+    b.li(Reg::R2, 0);
+    b.li(Reg::R3, iters as i64);
+    b.li(Reg::R7, 5);
+    let top = b.label();
+    let skip = b.label();
+    b.bind(top);
+    b.and(Reg::R4, Reg::R2, Reg::R7);
+    b.slli(Reg::R4, Reg::R4, 3);
+    b.add(Reg::R4, Reg::R4, Reg::R1);
+    b.load(Reg::R5, Reg::R4, 0);
+    b.blt(Reg::R5, Reg::R7, skip);
+    b.xor(Reg::R6, Reg::R6, Reg::R5);
+    b.bind(skip);
+    b.addi(Reg::R2, Reg::R2, 1);
+    b.blt(Reg::R2, Reg::R3, top);
+    b.halt();
+    b.finish()
+}
+
+/// Mostly-ALU compute: a fast core that reaches its quota early and keeps
+/// running, testing the past-quota contention path.
+fn compute(iters: u64) -> Program {
+    let mut b = ProgramBuilder::new("det-compute");
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, iters as i64);
+    b.li(Reg::R3, 0x9e37);
+    let top = b.label();
+    b.bind(top);
+    b.mul(Reg::R4, Reg::R1, Reg::R3);
+    b.xor(Reg::R5, Reg::R5, Reg::R4);
+    b.srli(Reg::R6, Reg::R5, 3);
+    b.add(Reg::R5, Reg::R5, Reg::R6);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    b.finish()
+}
+
+fn mix4() -> Vec<Program> {
+    vec![
+        stream(1 << 14),
+        strided(1 << 12),
+        branchy(1 << 20),
+        compute(1 << 20),
+    ]
+}
+
+fn det_cfg(kind: PrefetcherKind, threads: usize) -> SimConfig {
+    let mut c = SimConfig::baseline()
+        .with_prefetcher(kind)
+        .with_threads(threads);
+    c.warmup_insts = 2_000;
+    c.force_os_threads = true;
+    c
+}
+
+const INSTS: u64 = 3_000;
+
+/// The core determinism claim: results, CPI stacks, and timelines are
+/// identical for 1, 2, 4, and 8 worker threads (8 > cores exercises the
+/// worker clamp).
+#[test]
+fn thread_count_does_not_change_results() {
+    let programs = mix4();
+    let session = |threads| {
+        SimSession::new(det_cfg(PrefetcherKind::BFetch, threads))
+            .cpi(true)
+            .instructions(INSTS)
+    };
+    let reference = session(1).run(&programs).unwrap();
+    assert!(reference.results.iter().all(|r| r.cpi.is_some()));
+    for threads in [2, 4, 8] {
+        let run = session(threads).run(&programs).unwrap();
+        assert_eq!(
+            reference.results, run.results,
+            "results diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference.timeline, run.timeline,
+            "timeline diverged at {threads} threads"
+        );
+    }
+}
+
+/// Same claim without a prefetcher (a different shared-level traffic
+/// pattern: no prefetch fills contending for the turn order).
+#[test]
+fn thread_count_does_not_change_results_without_prefetcher() {
+    let programs = mix4();
+    let run_at = |threads| {
+        SimSession::new(det_cfg(PrefetcherKind::None, threads))
+            .instructions(INSTS)
+            .run(&programs)
+            .unwrap()
+            .results
+    };
+    let reference = run_at(1);
+    for threads in [2, 4] {
+        assert_eq!(reference, run_at(threads), "results diverged at {threads} threads");
+    }
+}
+
+/// A banked L3 (NUCA-style) must be just as deterministic across thread
+/// counts as the monolithic one.
+#[test]
+fn banked_l3_is_thread_count_invariant() {
+    let programs = mix4();
+    let run_at = |threads| {
+        SimSession::new(det_cfg(PrefetcherKind::BFetch, threads).with_l3_banks(4))
+            .instructions(INSTS)
+            .run(&programs)
+            .unwrap()
+            .results
+    };
+    let reference = run_at(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            reference,
+            run_at(threads),
+            "banked results diverged at {threads} threads"
+        );
+    }
+}
+
+/// A panicking core inside a worker thread must surface as a typed
+/// [`SimError::CorePanic`] naming the core, not crash the process or
+/// deadlock the cycle barrier.
+#[test]
+fn worker_panic_surfaces_as_typed_error() {
+    let programs = mix4();
+    let mut cfg = det_cfg(PrefetcherKind::BFetch, 4);
+    cfg.fault.panic_at_insts = 2_500;
+    // The injected panic unwinds through a worker; silence the default
+    // hook's backtrace spam for this expected event.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let got = SimSession::new(cfg).instructions(INSTS).run(&programs);
+    std::panic::set_hook(prev);
+    match got {
+        Err(SimError::CorePanic { core, message, .. }) => {
+            assert!(core < programs.len());
+            assert!(
+                message.contains("injected fault"),
+                "unexpected panic message: {message}"
+            );
+        }
+        other => panic!("expected CorePanic, got {other:?}"),
+    }
+}

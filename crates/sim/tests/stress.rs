@@ -6,7 +6,16 @@
 
 use bfetch_isa::{Inst, Program, Reg};
 use bfetch_prng::Pcg32;
-use bfetch_sim::{run_single, PredictorKind, PrefetcherKind, SimConfig};
+use bfetch_sim::{PredictorKind, PrefetcherKind, SimConfig, SimSession};
+
+/// The old `run_single` contract through the unified session API.
+fn run_single(p: &bfetch_isa::Program, cfg: &SimConfig, insts: u64) -> bfetch_sim::RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single()
+}
 
 fn cases(default: usize) -> usize {
     bfetch_prng::cases(if cfg!(feature = "proptests") {

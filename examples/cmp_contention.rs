@@ -6,7 +6,7 @@
 //! cargo run --release --example cmp_contention
 //! ```
 
-use bfetch::sim::{run_multi, run_single, PrefetcherKind, SimConfig};
+use bfetch::sim::{PrefetcherKind, SimConfig, SimSession};
 use bfetch::stats::{weighted_speedup, Table};
 use bfetch::workloads::select_mixes;
 
@@ -35,9 +35,20 @@ fn main() {
         let cfg = SimConfig::baseline().with_prefetcher(kind);
         let solo: Vec<f64> = programs
             .iter()
-            .map(|p| run_single(p, &cfg, 80_000).ipc())
+            .map(|p| {
+                SimSession::new(cfg.clone())
+                    .instructions(80_000)
+                    .run_one(p)
+                    .expect("solo run succeeds")
+                    .into_single()
+                    .ipc()
+            })
             .collect();
-        let multi = run_multi(&programs, &cfg, 80_000);
+        let multi = SimSession::new(cfg.clone())
+            .instructions(80_000)
+            .run(&programs)
+            .expect("mix run succeeds")
+            .results;
         let pairs: Vec<(f64, f64)> = multi
             .iter()
             .zip(solo.iter())

@@ -7,7 +7,7 @@
 //! ```
 
 use bfetch::isa::{ArchState, ProgramBuilder, Reg};
-use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::sim::{PrefetcherKind, SimConfig, SimSession};
 
 fn main() {
     // A linked ring of 4096 nodes laid out 128 bytes apart: each node's
@@ -48,9 +48,17 @@ fn main() {
         s.reg(Reg::R1)
     );
 
-    let baseline = run_single(&program, &SimConfig::baseline(), 100_000);
+    let baseline = SimSession::new(SimConfig::baseline())
+        .instructions(100_000)
+        .run_one(&program)
+        .expect("simulation succeeds")
+        .into_single();
     let cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
-    let bf = run_single(&program, &cfg, 100_000);
+    let bf = SimSession::new(cfg)
+        .instructions(100_000)
+        .run_one(&program)
+        .expect("simulation succeeds")
+        .into_single();
     println!("baseline IPC : {:.3}", baseline.ipc());
     println!(
         "B-Fetch IPC  : {:.3}  ({:.2}x)",

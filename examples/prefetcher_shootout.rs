@@ -5,7 +5,16 @@
 //! cargo run --release --example prefetcher_shootout -- mcf
 //! ```
 
-use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::sim::{PrefetcherKind, SimConfig, SimSession};
+
+/// One measured run through the session API.
+fn run(program: &bfetch::isa::Program, cfg: SimConfig) -> bfetch::sim::RunResult {
+    SimSession::new(cfg)
+        .instructions(100_000)
+        .run_one(program)
+        .expect("simulation succeeds")
+        .into_single()
+}
 use bfetch::stats::Table;
 use bfetch::workloads::{kernel_by_name, kernels};
 
@@ -17,7 +26,7 @@ fn main() {
     });
     let program = kernel.build_small();
 
-    let base = run_single(&program, &SimConfig::baseline(), 100_000);
+    let base = run(&program, SimConfig::baseline());
     let mut t = Table::new(vec![
         "prefetcher".into(),
         "IPC".into(),
@@ -36,7 +45,7 @@ fn main() {
         PrefetcherKind::Perfect,
     ] {
         let cfg = SimConfig::baseline().with_prefetcher(kind);
-        let r = run_single(&program, &cfg, 100_000);
+        let r = run(&program, cfg);
         t.row(vec![
             kind.name().into(),
             format!("{:.3}", r.ipc()),

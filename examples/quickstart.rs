@@ -5,16 +5,24 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::sim::{PrefetcherKind, SimConfig, SimSession};
 use bfetch::workloads::kernel_by_name;
 
 fn main() {
     let kernel = kernel_by_name("libquantum").expect("known kernel");
     let program = kernel.build_small();
 
-    let baseline = run_single(&program, &SimConfig::baseline(), 100_000);
+    let baseline = SimSession::new(SimConfig::baseline())
+        .instructions(100_000)
+        .run_one(&program)
+        .expect("simulation succeeds")
+        .into_single();
     let bfetch_cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
-    let bfetch = run_single(&program, &bfetch_cfg, 100_000);
+    let bfetch = SimSession::new(bfetch_cfg)
+        .instructions(100_000)
+        .run_one(&program)
+        .expect("simulation succeeds")
+        .into_single();
 
     println!("workload      : {}", kernel.name);
     println!("baseline IPC  : {:.3}", baseline.ipc());

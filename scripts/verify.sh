@@ -52,6 +52,16 @@ cmp "$CACHE/serial.txt" "$CACHE/parallel.txt"
 cmp "$CACHE/serial.txt" "$CACHE/cached.txt"
 grep -q " 0 simulated" "$CACHE/cached.err"
 
+echo "==> parallel engine: cross-thread-count determinism + worker-panic typing"
+cargo test -q -p bfetch-sim --test determinism
+
+echo "==> CMP figures smoke: sim-threads 1 vs 4 byte-identical stdout"
+FIG=target/release/fig16_cmp
+$FIG --quick --small --no-cache -j 1 >"$CACHE/cmp_s1.txt"
+$FIG --quick --small --no-cache -j 1 --sim-threads 4 >"$CACHE/cmp_s4.txt"
+cmp "$CACHE/cmp_s1.txt" "$CACHE/cmp_s4.txt"
+target/release/fig17_scale --quick --small --no-cache -j 1 --sim-threads 4 >/dev/null
+
 echo "==> fault injection: panic / livelock / runaway isolation end to end"
 cargo test -q -p bfetch-bench --test faults
 

@@ -1,7 +1,16 @@
 //! Whole-system integration tests: kernels → simulator → prefetchers.
 
-use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::isa::Program;
+use bfetch::sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch::workloads::{kernel_by_name, kernels};
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .expect("run succeeds")
+        .into_single()
+}
 
 fn cfg(kind: PrefetcherKind) -> SimConfig {
     let mut c = SimConfig::baseline().with_prefetcher(kind);

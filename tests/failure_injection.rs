@@ -3,8 +3,17 @@
 //! deterministic) even when every queue and table is under pressure.
 
 use bfetch::core::BFetchConfig;
-use bfetch::sim::{run_single, PrefetcherKind, SimConfig};
+use bfetch::isa::Program;
+use bfetch::sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch::workloads::kernel_by_name;
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .expect("run succeeds")
+        .into_single()
+}
 
 fn base() -> SimConfig {
     let mut c = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
@@ -116,9 +125,17 @@ mod typed_failures {
     //! runaway run exhausts the cycle budget, and healthy runs are
     //! untouched by the (default-on) watchdog.
 
-    use bfetch::sim::{try_run_single, FaultInjection, SimConfig, SimError};
+    use bfetch::isa::Program;
+    use bfetch::sim::{FaultInjection, RunResult, SimConfig, SimError, SimSession};
     use bfetch::workloads::FAULT_KERNEL;
     use bfetch::workloads::kernel_by_name;
+
+    fn try_run_single(p: &Program, cfg: &SimConfig, insts: u64) -> Result<RunResult, SimError> {
+        SimSession::new(cfg.clone())
+            .instructions(insts)
+            .run_one(p)
+            .map(|out| out.into_single())
+    }
 
     fn frozen_cfg() -> SimConfig {
         let mut c = SimConfig::baseline().with_watchdog(2_000);
@@ -170,6 +187,9 @@ mod typed_failures {
         let cfg = SimConfig::baseline();
         assert_eq!(cfg.watchdog_cycles, 1_000_000, "watchdog defaults on");
         let r = try_run_single(&p, &cfg, 20_000).expect("healthy run succeeds");
+        // deliberately exercise the deprecated panicking wrapper: it must
+        // agree with the fallible SimSession path it now delegates to
+        #[allow(deprecated)]
         let again = bfetch::sim::run_single(&p, &cfg, 20_000);
         assert_eq!(r.cycles, again.cycles, "fallible and panicking paths agree");
     }

@@ -1,8 +1,25 @@
 //! Multiprogrammed CMP integration tests (shared LLC + DRAM contention).
 
-use bfetch::sim::{run_multi, run_single, PrefetcherKind, SimConfig};
+use bfetch::isa::Program;
+use bfetch::sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch::stats::weighted_speedup;
 use bfetch::workloads::{kernel_by_name, select_mixes};
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .expect("run succeeds")
+        .into_single()
+}
+
+fn run_multi(programs: &[Program], cfg: &SimConfig, insts: u64) -> Vec<RunResult> {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run(programs)
+        .expect("run succeeds")
+        .results
+}
 
 fn cfg(kind: PrefetcherKind) -> SimConfig {
     let mut c = SimConfig::baseline().with_prefetcher(kind);

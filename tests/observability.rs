@@ -4,8 +4,35 @@
 //! perturb simulation results.
 
 use bfetch::isa::{Program, ProgramBuilder, Reg};
-use bfetch::sim::{run_single, run_single_traced, PrefetcherKind, SimConfig};
+use bfetch::sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
+use bfetch::stats::LifecycleCounts;
 use bfetch::workloads::kernel_by_name;
+
+fn run_single(p: &Program, cfg: &SimConfig, insts: u64) -> RunResult {
+    SimSession::new(cfg.clone())
+        .instructions(insts)
+        .run_one(p)
+        .expect("run succeeds")
+        .into_single()
+}
+
+struct Traced {
+    results: Vec<RunResult>,
+    lifecycle: Vec<LifecycleCounts>,
+}
+
+fn run_single_traced(p: &Program, cfg: &SimConfig, insts: u64) -> Traced {
+    let out = SimSession::new(cfg.clone())
+        .trace(true)
+        .instructions(insts)
+        .run_one(p)
+        .expect("run succeeds");
+    let trace = out.trace.expect("trace requested");
+    Traced {
+        results: out.results,
+        lifecycle: trace.lifecycle,
+    }
+}
 
 /// A deterministic unit-stride streaming loop: one load per 64 B line with
 /// enough per-line compute that prefetching genuinely hides latency.
