@@ -1,0 +1,48 @@
+//! asmcheck: assemble `.s` files and report their shape, exiting nonzero
+//! if any file fails — the verify.sh/CI gate that keeps every bundled
+//! workload program (`crates/workloads/asm/*.s`) assembling cleanly.
+//!
+//! ```text
+//! usage: asmcheck FILE.s [FILE.s ...]
+//! ```
+//!
+//! Errors print as `path:line:col: message` (the assembler's positioned
+//! diagnostics, see docs/ISA.md).
+
+use bfetch_isa::asm;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: asmcheck FILE.s [FILE.s ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+            Ok(src) => match asm::assemble(&src) {
+                Ok(p) => {
+                    let words: usize = p.data().iter().map(|(_, w)| w.len()).sum();
+                    println!(
+                        "{path}: {} — {} instructions, {} conditional branches, {} data words",
+                        p.name(),
+                        p.len(),
+                        p.cond_branch_count(),
+                        words
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{path}:{e}");
+                    failed = true;
+                }
+            },
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

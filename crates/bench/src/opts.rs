@@ -5,7 +5,7 @@
 //! convenience wrapper [`Opts::parse_or_exit`] does exactly that.
 
 use bfetch_sim::{PrefetcherKind, SimConfig};
-use bfetch_workloads::{kernel_by_name, kernels, Kernel, Scale};
+use bfetch_workloads::{kernel_by_name, kernels, program_by_name, programs, Kernel, Scale};
 use std::path::PathBuf;
 
 /// Common command-line options for the figure binaries.
@@ -40,6 +40,9 @@ pub struct Opts {
     pub cache_cap: u64,
     /// Restrict kernel sweeps to this subset (`--kernels a,b,c`).
     pub kernels: Option<Vec<String>>,
+    /// Restrict real-program sweeps to this subset (`--programs a,b,c`;
+    /// binaries that sweep the `workloads::programs` family).
+    pub programs: Option<Vec<String>>,
     /// Write a JSONL lifecycle trace here (binaries that support tracing;
     /// see DESIGN.md's Observability chapter for the schema).
     pub trace: Option<PathBuf>,
@@ -59,6 +62,8 @@ pub enum OptsError {
     BadValue(&'static str, String),
     /// `--kernels` named a kernel that is not in the registry.
     UnknownKernel(String),
+    /// `--programs` named a real program that is not in the registry.
+    UnknownProgram(String),
     /// `--help` was requested (not an error; callers print usage and exit 0).
     HelpRequested,
 }
@@ -71,6 +76,9 @@ impl std::fmt::Display for OptsError {
             OptsError::BadValue(flag, v) => write!(f, "invalid value {v:?} for {flag}"),
             OptsError::UnknownKernel(name) => {
                 write!(f, "unknown kernel {name:?} (see --help for the registry)")
+            }
+            OptsError::UnknownProgram(name) => {
+                write!(f, "unknown program {name:?} (see --help for the registry)")
             }
             OptsError::HelpRequested => write!(f, "help requested"),
         }
@@ -93,6 +101,7 @@ impl Default for Opts {
             cache_gc: false,
             cache_cap: 512 * 1024 * 1024,
             kernels: None,
+            programs: None,
             trace: None,
             timeline: None,
         }
@@ -118,6 +127,7 @@ pub fn parse_bytes(s: &str) -> Option<u64> {
 /// The flag reference shared by all binaries.
 pub fn usage() -> String {
     let names: Vec<&str> = kernels().iter().map(|k| k.name).collect();
+    let prog_names: Vec<&str> = programs().iter().map(|k| k.name).collect();
     format!(
         "common flags:\n\
          \x20 --instructions N, -n N   measured instructions per core (default 300000)\n\
@@ -127,6 +137,7 @@ pub fn usage() -> String {
          \x20 --sim-threads N          worker threads inside each CMP simulation\n\
          \x20                          (deterministic: results identical for any N; default 1)\n\
          \x20 --kernels a,b,c          restrict kernel sweeps to a subset\n\
+         \x20 --programs a,b,c         restrict real-program sweeps to a subset\n\
          \x20 --json                   machine-readable JSON results on stdout\n\
          \x20 --no-cache               bypass the on-disk result cache\n\
          \x20 --cache-dir PATH         result cache location (default results/cache)\n\
@@ -136,8 +147,10 @@ pub fn usage() -> String {
          \x20 --trace PATH             write a JSONL lifecycle trace (tracing binaries)\n\
          \x20 --timeline PATH          write an interval timeline, JSONL or .csv (CPI binaries)\n\
          \x20 --help, -h               this message\n\
-         kernels: {}",
-        names.join(", ")
+         kernels: {}\n\
+         programs: {}",
+        names.join(", "),
+        prog_names.join(", ")
     )
 }
 
@@ -191,6 +204,16 @@ impl Opts {
                         }
                     }
                     o.kernels = Some(names);
+                }
+                "--programs" => {
+                    let v = value("--programs")?;
+                    let names: Vec<String> = v.split(',').map(str::to_string).collect();
+                    for n in &names {
+                        if program_by_name(n).is_none() {
+                            return Err(OptsError::UnknownProgram(n.clone()));
+                        }
+                    }
+                    o.programs = Some(names);
                 }
                 "--json" => o.json = true,
                 "--no-cache" => o.no_cache = true,
@@ -247,6 +270,18 @@ impl Opts {
             None => kernels().iter().collect(),
         }
     }
+
+    /// The real programs this run sweeps: the `--programs` subset if given
+    /// (registry order), otherwise the full program registry.
+    pub fn selected_programs(&self) -> Vec<&'static Kernel> {
+        match &self.programs {
+            Some(names) => programs()
+                .iter()
+                .filter(|k| names.iter().any(|n| n == k.name))
+                .collect(),
+            None => programs().iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +302,7 @@ mod tests {
         assert_eq!(o.sim_threads, 1);
         assert!(!o.json && !o.no_cache);
         assert!(o.kernels.is_none());
+        assert!(o.programs.is_none());
         assert!(o.trace.is_none());
         assert!(o.timeline.is_none());
     }
@@ -333,6 +369,10 @@ mod tests {
             parse(&["--kernels", "mcf,nonesuch"]),
             Err(OptsError::UnknownKernel("nonesuch".into()))
         );
+        assert_eq!(
+            parse(&["--programs", "quicksort,mcf"]),
+            Err(OptsError::UnknownProgram("mcf".into()))
+        );
         assert_eq!(parse(&["--help"]), Err(OptsError::HelpRequested));
     }
 
@@ -366,6 +406,14 @@ mod tests {
         // mcf precedes sjeng in the registry regardless of flag order
         assert_eq!(names, ["mcf", "sjeng"]);
         assert_eq!(parse(&[]).unwrap().selected_kernels().len(), 18);
+    }
+
+    #[test]
+    fn selected_programs_keeps_registry_order() {
+        let o = parse(&["--programs", "sieve,blur"]).unwrap();
+        let names: Vec<&str> = o.selected_programs().iter().map(|k| k.name).collect();
+        assert_eq!(names, ["blur", "sieve"]);
+        assert_eq!(parse(&[]).unwrap().selected_programs().len(), 6);
     }
 
     #[test]

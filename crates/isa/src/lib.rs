@@ -46,13 +46,20 @@
 //! assert_eq!(state.reg(Reg::R3), (0..16).sum::<u64>());
 //! ```
 
+pub mod asm;
 pub mod builder;
+/// The ISA + assembly-language reference manual (`docs/ISA.md`),
+/// included verbatim so its examples run as doctests and the doc gate
+/// keeps the manual honest.
+#[doc = include_str!("../../../docs/ISA.md")]
+pub mod manual {}
 pub mod inst;
 pub mod mem;
 pub mod program;
 pub mod reg;
 pub mod state;
 
+pub use asm::{assemble, assemble_with, disassemble, AsmError, AsmErrorKind};
 pub use builder::ProgramBuilder;
 pub use inst::{Inst, MemInfo, OpClass};
 pub use mem::SparseMemory;

@@ -1,0 +1,155 @@
+//! Integration tests for the text-assembly frontend: positioned
+//! diagnostics on malformed input, and builder <-> asm equivalence — a
+//! program written through [`ProgramBuilder`] and the same program
+//! written as text must produce identical instruction streams and
+//! identical architectural results.
+
+use bfetch_isa::{assemble, disassemble, ArchState, AsmErrorKind, ProgramBuilder, Reg};
+
+/// Assembles expecting failure, returning the reported position + kind.
+fn err(src: &str) -> (u32, u32, AsmErrorKind) {
+    let e = assemble(src).expect_err("source should be rejected");
+    (e.line, e.col, e.kind)
+}
+
+#[test]
+fn unknown_mnemonic_is_positioned() {
+    let (line, col, kind) = err("  nop\n  frobnicate r1, r2\n  halt\n");
+    assert_eq!((line, col), (2, 3));
+    assert_eq!(kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+}
+
+#[test]
+fn duplicate_label_reports_the_second_binding() {
+    let (line, col, kind) = err("top:  nop\nnop\ntop:  halt\n");
+    assert_eq!((line, col), (3, 1));
+    assert_eq!(kind, AsmErrorKind::DuplicateLabel("top".into()));
+}
+
+#[test]
+fn undefined_label_reports_the_first_use() {
+    let (line, col, kind) = err("  nop\n  jmp nowhere\n  beq r0, r0, nowhere\n  halt\n");
+    assert_eq!((line, col), (2, 7));
+    assert_eq!(kind, AsmErrorKind::UnknownLabel("nowhere".into()));
+}
+
+#[test]
+fn operand_count_mismatch_names_the_mnemonic() {
+    let (line, col, kind) = err("  add r1, r2\n  halt\n");
+    assert_eq!(line, 1);
+    assert!(col >= 3);
+    assert_eq!(
+        kind,
+        AsmErrorKind::OperandCount {
+            mnemonic: "add".into(),
+            expected: 3,
+            got: 2,
+        }
+    );
+}
+
+#[test]
+fn shift_amount_past_63_overflows() {
+    let (line, _, kind) = err("  slli r1, r1, 64\n  halt\n");
+    assert_eq!(line, 1);
+    assert!(matches!(kind, AsmErrorKind::ImmOverflow(_)), "{kind:?}");
+}
+
+#[test]
+fn literal_wider_than_u64_overflows() {
+    let (line, _, kind) = err("  li r1, 0x1_0000_0000_0000_0000_0\n  halt\n");
+    assert_eq!(line, 1);
+    assert!(matches!(kind, AsmErrorKind::ImmOverflow(_)), "{kind:?}");
+}
+
+#[test]
+fn error_display_carries_line_and_column() {
+    let e = assemble("  halt\n  bogus\n").expect_err("rejected");
+    let msg = e.to_string();
+    assert!(msg.starts_with("2:3:"), "{msg}");
+    assert!(msg.contains("bogus"), "{msg}");
+}
+
+/// The same short reduction written both ways: through the builder and
+/// as text. Instruction streams and run results must match exactly.
+#[test]
+fn builder_and_asm_agree_on_a_reduction_loop() {
+    // sum r3 = 0 + 1 + ... + 9 into memory, reload and double it
+    let mut b = ProgramBuilder::new("red");
+    let loop_top = b.label();
+    let done = b.label();
+    b.li(Reg::R1, 0); // i
+    b.li(Reg::R2, 10);
+    b.li(Reg::R3, 0); // acc
+    b.bind(loop_top);
+    b.add(Reg::R3, Reg::R3, Reg::R1);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, loop_top);
+    b.li(Reg::R4, 0x1000);
+    b.store(Reg::R3, Reg::R4, 0);
+    b.load(Reg::R5, Reg::R4, 0);
+    b.add(Reg::R5, Reg::R5, Reg::R5);
+    b.beq(Reg::R0, Reg::R0, done);
+    b.nop();
+    b.bind(done);
+    b.halt();
+    let built = b.finish();
+
+    let text = assemble(
+        "\
+.name red
+        li   r1, 0
+        li   r2, 10
+        li   r3, 0
+top:    add  r3, r3, r1
+        addi r1, r1, 1
+        blt  r1, r2, top
+        li   r4, 0x1000
+        store r3, 0(r4)
+        load r5, 0(r4)
+        add  r5, r5, r5
+        beq  r0, r0, done
+        nop
+done:   halt
+",
+    )
+    .expect("assembles");
+
+    assert_eq!(built.name(), text.name());
+    assert_eq!(built.insts(), text.insts());
+    assert_eq!(built.data(), text.data());
+
+    let mut sa = ArchState::new(&built);
+    let mut sb = ArchState::new(&text);
+    sa.run(&built, 10_000);
+    sb.run(&text, 10_000);
+    assert!(sa.halted() && sb.halted());
+    assert_eq!(sa.reg(Reg::R3), 45);
+    assert_eq!(sa.reg(Reg::R5), 90);
+    assert_eq!(sb.reg(Reg::R3), 45);
+    assert_eq!(sb.reg(Reg::R5), 90);
+}
+
+/// Disassembly of a builder-made program (including a data image)
+/// reassembles to the identical program.
+#[test]
+fn builder_program_round_trips_through_text() {
+    let mut b = ProgramBuilder::new("rt");
+    let top = b.label();
+    b.init_words(0x2000, &[7, 11, 13, u64::MAX]);
+    b.li(Reg::R1, 0x2000);
+    b.li(Reg::R2, 0x2000 + 4 * 8);
+    b.li(Reg::R3, 0);
+    b.bind(top);
+    b.load(Reg::R4, Reg::R1, 0);
+    b.add(Reg::R3, Reg::R3, Reg::R4);
+    b.addi(Reg::R1, Reg::R1, 8);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    let p = b.finish();
+
+    let again = assemble(&disassemble(&p)).expect("disassembly reassembles");
+    assert_eq!(p.name(), again.name());
+    assert_eq!(p.insts(), again.insts());
+    assert_eq!(p.data(), again.data());
+}

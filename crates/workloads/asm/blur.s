@@ -1,0 +1,70 @@
+; blur — 3x3 box-blur stencil over a W x H row-major grid, SRC -> DST.
+;
+; Real-program analog of the `leslie3d` synthetic kernel: a strided
+; stencil with three concurrently-live input rows (offsets -W, 0, +W
+; words), the access class where run-ahead prefetchers shine.
+;
+; SRC is seeded one word per 64-byte line from a fixed-seed LCG each
+; pass (untouched words read as zero from the sparse memory — the blur
+; only needs deterministic values, not dense ones), and DST is plainly
+; overwritten, so restarts repeat an identical stream. Interior pixels
+; only; the border stays whatever the init wrote.
+
+.name blur
+.default W 64              ; grid width in words (overridden per Scale)
+.default H 32              ; grid height
+.equ SRC  0x1000000
+.equ DST  0x3000000
+.equ MULT 0x5851F42D4C957F2D
+.equ INC  0x14057B7EF767814F
+
+; ---- init: one LCG word per cache line of SRC ----------------------------
+        li   r1, SRC
+        li   r2, SRC + W*H*8
+        li   r3, 424242         ; seed
+        li   r4, MULT
+        li   r5, INC
+init:   mul  r3, r3, r4
+        add  r3, r3, r5
+        store r3, 0(r1)
+        addi r1, r1, 64
+        blt  r1, r2, init
+
+; ---- DST[y][x] = (sum of 3x3 SRC neighborhood) >> 3 ----------------------
+; the scan keeps running src/dst pointers (addi bumps, as compiled code
+; would) instead of re-deriving addresses from (y, x) every pixel
+        li   r14, W
+        li   r10, 1             ; y in 1..H-1
+yloop:  mul  r15, r10, r14      ; row base index, computed once per row
+        slli r15, r15, 3
+        addi r16, r15, SRC+8    ; src center pointer, starting at x=1
+        addi r17, r15, DST+8    ; dst pointer
+        li   r11, 1             ; x in 1..W-1
+xloop:  load r20, -(W+1)*8(r16) ; row above
+        load r21, -(W)*8(r16)
+        load r22, -(W-1)*8(r16)
+        add  r20, r20, r21
+        add  r20, r20, r22
+        load r21, -8(r16)       ; this row
+        load r22, 0(r16)
+        load r23, 8(r16)
+        add  r20, r20, r21
+        add  r20, r20, r22
+        add  r20, r20, r23
+        load r21, (W-1)*8(r16)  ; row below
+        load r22, (W)*8(r16)
+        load r23, (W+1)*8(r16)
+        add  r20, r20, r21
+        add  r20, r20, r22
+        add  r20, r20, r23
+        srli r20, r20, 3        ; approximate mean (divide by 8)
+        store r20, 0(r17)
+        addi r16, r16, 8
+        addi r17, r17, 8
+        addi r11, r11, 1
+        li   r18, W-1
+        blt  r11, r18, xloop
+        addi r10, r10, 1
+        li   r19, H-1
+        blt  r10, r19, yloop
+        halt

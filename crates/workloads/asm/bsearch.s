@@ -1,0 +1,63 @@
+; bsearch — Q binary searches with LCG-drawn keys over a sorted table.
+;
+; Real-program analog of the `astar` synthetic kernel: each probe is a
+; short chain of data-dependent loads and hard-to-predict compare
+; branches hopping across the table — the low-MLP, branchy class where
+; branch-directed lookahead has to earn its keep.
+;
+; The table holds A[i] = i * STEP (idempotent stores), and the query
+; stream restarts from a fixed seed, so restarts repeat an identical
+; stream. Keys are drawn modulo the key range via a shift, and hits are
+; counted so the search result feeds control flow.
+
+.name bsearch
+.default N 4096            ; table elements, must be a power of two
+.default NBITS 12          ; log2(N)
+.equ TAB  0x1000000
+.equ STEP 7                ; table values: 0, 7, 14, ...
+.equ Q    N>>2             ; queries per pass
+.equ MULT 0x5851F42D4C957F2D
+.equ INC  0x14057B7EF767814F
+
+; ---- init: A[i] = i * STEP ----------------------------------------------
+        li   r1, TAB
+        li   r2, TAB + N*8
+        li   r3, 0              ; running value
+init:   store r3, 0(r1)
+        addi r3, r3, STEP
+        addi r1, r1, 8
+        blt  r1, r2, init
+
+; ---- query loop ----------------------------------------------------------
+        li   r10, 98765         ; LCG state
+        li   r11, MULT
+        li   r12, INC
+        li   r13, Q             ; queries remaining
+        li   r14, 0             ; hit counter
+query:  mul  r10, r10, r11
+        add  r10, r10, r12
+        srli r15, r10, 64-NBITS ; index in 0..N
+        li   r16, STEP
+        mul  r15, r15, r16      ; key = in-range multiple of STEP
+        li   r16, 1
+        and  r16, r10, r16      ; low draw bit decides hit/miss:
+        add  r15, r15, r16      ; odd keys are never multiples of STEP
+        ; binary search for key over [lo, hi)
+        li   r17, 0             ; lo
+        li   r18, N             ; hi
+bs:     bge  r17, r18, miss     ; empty range: not found
+        add  r19, r17, r18
+        srli r19, r19, 1        ; mid
+        slli r20, r19, 3
+        addi r20, r20, TAB
+        load r21, 0(r20)        ; A[mid]
+        beq  r21, r15, hit
+        bge  r21, r15, goleft
+        addi r17, r19, 1        ; key > A[mid]: lo = mid+1
+        jmp  bs
+goleft: add  r18, r19, r0       ; hi = mid
+        jmp  bs
+hit:    addi r14, r14, 1
+miss:   addi r13, r13, -1
+        bne  r13, r0, query
+        halt

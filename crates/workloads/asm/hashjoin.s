@@ -1,0 +1,68 @@
+; hashjoin — build + probe of a direct-mapped hash table (2^B buckets of
+; key,payload word pairs), the core loop of a database hash join.
+;
+; Real-program analog of the `soplex` synthetic kernel: the build phase
+; scatters stores across the table by multiplicative hash, the probe
+; phase gathers from the same pseudo-random buckets — indexed sparse
+; traffic a stride prefetcher cannot follow.
+;
+; Build inserts NK keys by overwrite (last writer wins), and both phases
+; draw from fixed-seed LCGs, so restarts repeat an identical stream. The
+; probe stream replays the build keys (guaranteed bucket hits, then a
+; key compare decides the match) interleaved with a second, disjoint
+; stream of mostly-missing keys.
+
+.name hashjoin
+.default B  12             ; log2(bucket count) (overridden per Scale)
+.default NK 1024           ; keys inserted per pass
+.equ TAB  0x1000000        ; bucket i at TAB + i*16: [key, payload]
+.equ PHI  0x9E3779B97F4A7C15   ; multiplicative-hash constant
+.equ MULT 0x5851F42D4C957F2D
+.equ INC  0x14057B7EF767814F
+.equ SEED 31415
+
+; ---- build: insert NK LCG keys ------------------------------------------
+        li   r1, SEED           ; LCG state
+        li   r2, MULT
+        li   r3, INC
+        li   r4, PHI
+        li   r5, NK
+build:  mul  r1, r1, r2
+        add  r1, r1, r3
+        mul  r6, r1, r4         ; hash
+        srli r6, r6, 64-B       ; bucket index
+        slli r6, r6, 4          ; *16 bytes
+        addi r6, r6, TAB
+        store r1, 0(r6)         ; key
+        store r5, 8(r6)         ; payload (loop counter: deterministic)
+        addi r5, r5, -1
+        bne  r5, r0, build
+
+; ---- probe: replay build keys, interleave a missing-key stream -----------
+        li   r1, SEED           ; replayed build stream
+        li   r10, 271828        ; disjoint probe stream (mostly misses)
+        li   r5, NK
+        li   r14, 0             ; matched-payload accumulator
+probe:  mul  r1, r1, r2
+        add  r1, r1, r3
+        mul  r6, r1, r4
+        srli r6, r6, 64-B
+        slli r6, r6, 4
+        addi r6, r6, TAB
+        load r7, 0(r6)          ; bucket key
+        bne  r7, r1, pmiss      ; overwritten by a later build insert?
+        load r8, 8(r6)
+        add  r14, r14, r8
+pmiss:  mul  r10, r10, r2       ; second stream
+        add  r10, r10, r3
+        mul  r6, r10, r4
+        srli r6, r6, 64-B
+        slli r6, r6, 4
+        addi r6, r6, TAB
+        load r7, 0(r6)
+        bne  r7, r10, qmiss
+        load r8, 8(r6)
+        add  r14, r14, r8
+qmiss:  addi r5, r5, -1
+        bne  r5, r0, probe
+        halt

@@ -1,0 +1,66 @@
+; matmul — naive i-j-k dense N x N matrix multiply, C = A * B.
+;
+; Real-program analog of the `calculix` synthetic kernel: compute-bound
+; linear algebra whose working set is cache-resident, so no prefetcher
+; moves it much. The inner product walks A's row unit-stride and B's
+; column at an N*8-byte stride.
+;
+; A and B are re-filled from a fixed-seed LCG at the start of every pass
+; and C is plainly overwritten, so restarts repeat an identical stream.
+
+.name matmul
+.default N 16              ; matrix dimension (overridden per Scale)
+.equ MA   0x1000000        ; A base (row-major)
+.equ MB   0x1800000        ; B base
+.equ MC   0x2000000        ; C base
+.equ MULT 0x5851F42D4C957F2D
+.equ INC  0x14057B7EF767814F
+
+; ---- init: A then B from one LCG stream ----------------------------------
+        li   r1, MA
+        li   r2, MA + N*N*8
+        li   r3, 777            ; seed
+        li   r4, MULT
+        li   r5, INC
+inita:  mul  r3, r3, r4
+        add  r3, r3, r5
+        store r3, 0(r1)
+        addi r1, r1, 8
+        blt  r1, r2, inita
+        li   r1, MB
+        li   r2, MB + N*N*8
+initb:  mul  r3, r3, r4
+        add  r3, r3, r5
+        store r3, 0(r1)
+        addi r1, r1, 8
+        blt  r1, r2, initb
+
+; ---- C[i][j] = sum_k A[i][k] * B[k][j] -----------------------------------
+        li   r14, N
+        li   r10, 0             ; i
+iloop:  li   r11, 0             ; j
+jloop:  li   r12, 0             ; k
+        li   r13, 0             ; acc
+        mul  r15, r10, r14      ; &A[i][0]
+        slli r15, r15, 3
+        addi r15, r15, MA
+        slli r16, r11, 3        ; &B[0][j]
+        addi r16, r16, MB
+kloop:  load r17, 0(r15)
+        load r18, 0(r16)
+        mul  r17, r17, r18
+        add  r13, r13, r17
+        addi r15, r15, 8        ; A row: unit stride
+        addi r16, r16, N*8      ; B column: row stride
+        addi r12, r12, 1
+        blt  r12, r14, kloop
+        mul  r15, r10, r14      ; &C[i][j]
+        add  r15, r15, r11
+        slli r15, r15, 3
+        addi r15, r15, MC
+        store r13, 0(r15)
+        addi r11, r11, 1
+        blt  r11, r14, jloop
+        addi r10, r10, 1
+        blt  r10, r14, iloop
+        halt

@@ -1,0 +1,80 @@
+; quicksort — iterative in-place quicksort over N 64-bit words.
+;
+; Real-program analog of the `bzip2` synthetic kernel: cache-resident
+; sort/compare code dominated by data-dependent branches, little help
+; from any prefetcher.
+;
+; Every pass re-fills the array from a fixed-seed LCG before sorting, so
+; a restarted program (the timing harness loops halted cores) repeats an
+; identical instruction stream. The ISA has no indirect jumps, so
+; recursion is replaced by an explicit (lo, hi) range stack; ranges hold
+; element *addresses*, inclusive. Comparisons are signed (blt/bge), which
+; is a consistent total order over the LCG's u64 patterns.
+
+.name quicksort
+.default N 1024            ; element count (overridden per Scale)
+.equ ARR  0x1000000        ; array base
+.equ STK  0x2000000        ; range-stack base (grows up, pairs of words)
+.equ MULT 0x5851F42D4C957F2D   ; Knuth MMIX LCG multiplier
+.equ INC  0x14057B7EF767814F   ; ... and increment
+
+; ---- init: A[i] = lcg(i) -------------------------------------------------
+        li   r1, ARR
+        li   r2, ARR + N*8
+        li   r3, 12345          ; seed
+        li   r4, MULT
+        li   r5, INC
+init:   mul  r3, r3, r4
+        add  r3, r3, r5
+        store r3, 0(r1)
+        addi r1, r1, 8
+        blt  r1, r2, init
+
+; ---- sort: explicit-stack quicksort, Lomuto partition --------------------
+        li   r10, STK           ; sp
+        li   r11, ARR           ; lo
+        li   r12, ARR + (N-1)*8 ; hi
+        store r11, 0(r10)
+        store r12, 8(r10)
+        addi r10, r10, 16
+pop:    li   r20, STK
+        beq  r10, r20, done     ; stack empty
+        addi r10, r10, -16
+        load r11, 0(r10)        ; lo
+        load r12, 8(r10)        ; hi
+        bge  r11, r12, pop      ; 0- or 1-element range
+        load r13, 0(r12)        ; pivot = A[hi]
+        addi r14, r11, -8       ; i = lo - 1
+        add  r15, r11, r0       ; j = lo
+part:   bge  r15, r12, partend  ; j reached hi
+        load r16, 0(r15)
+        bge  r16, r13, noswap   ; A[j] >= pivot
+        addi r14, r14, 8
+        load r17, 0(r14)
+        store r16, 0(r14)       ; swap A[i] <-> A[j]
+        store r17, 0(r15)
+noswap: addi r15, r15, 8
+        jmp  part
+partend: addi r14, r14, 8       ; pivot's final slot
+        load r17, 0(r14)
+        store r13, 0(r14)
+        store r17, 0(r12)
+        addi r16, r14, -8       ; push (lo, i-1)
+        store r11, 0(r10)
+        store r16, 8(r10)
+        addi r10, r10, 16
+        addi r16, r14, 8        ; push (i+1, hi)
+        store r16, 0(r10)
+        store r12, 8(r10)
+        addi r10, r10, 16
+        jmp  pop
+
+; ---- checksum the (now sorted) array ------------------------------------
+done:   li   r1, ARR
+        li   r2, ARR + N*8
+        li   r3, 0
+sum:    load r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 8
+        blt  r1, r2, sum
+        halt

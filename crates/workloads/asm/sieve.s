@@ -1,0 +1,48 @@
+; sieve — Sieve of Eratosthenes over N candidates, one word per number,
+; followed by a streaming prime-count pass.
+;
+; Real-program analog of the `libquantum` synthetic kernel: long
+; streaming sweeps (the composite-marking inner loops stride i*8 bytes,
+; the counting pass strides 8 bytes) over a table that exceeds the LLC
+; at full scale.
+;
+; No init pass is needed: unwritten words read as zero ("prime"), and
+; marking is monotone — a prime index is never stored to, so every pass
+; takes exactly the same branches whether the table is fresh or already
+; marked. Restarts therefore repeat an identical stream.
+
+.name sieve
+.default N 8192            ; candidate count (overridden per Scale)
+.equ TAB  0x1000000        ; one word per candidate; 0 = prime
+
+        li   r1, 2              ; i
+        li   r2, N
+outer:  slli r3, r1, 3
+        addi r3, r3, TAB
+        load r4, 0(r3)
+        bne  r4, r0, next       ; composite: skip marking
+        mul  r5, r1, r1         ; j = i*i
+        bge  r5, r2, next       ; i*i >= N: nothing to mark
+        slli r6, r5, 3
+        addi r6, r6, TAB        ; &TAB[j]
+        slli r7, r1, 3          ; step = i words
+        li   r8, TAB + N*8
+        li   r9, 1
+inner:  load r11, 0(r6)         ; test-before-store keeps marking
+        bne  r11, r0, skip      ; load-driven (stores retire without
+        store r9, 0(r6)         ; stalling, loads expose the misses)
+skip:   add  r6, r6, r7
+        blt  r6, r8, inner
+next:   addi r1, r1, 1
+        blt  r1, r2, outer
+
+; ---- count primes (streaming read of the whole table) --------------------
+        li   r1, TAB + 2*8
+        li   r8, TAB + N*8
+        li   r10, 0             ; prime count
+count:  load r4, 0(r1)
+        bne  r4, r0, notp
+        addi r10, r10, 1
+notp:   addi r1, r1, 8
+        blt  r1, r8, count
+        halt

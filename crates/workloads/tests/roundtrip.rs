@@ -1,0 +1,34 @@
+//! Round-trip equivalence between the builder-made synthetic kernels and
+//! the text-assembly frontend: `disassemble(kernel)` must reassemble to
+//! the identical program — same instruction stream, same data image —
+//! for every registry kernel and every bundled `.s` program, at both
+//! scales. This pins the two program-construction paths to one ISA.
+
+use bfetch_isa::{assemble, disassemble};
+use bfetch_workloads::{kernels, programs};
+
+#[test]
+fn every_synthetic_kernel_round_trips_through_text() {
+    for k in kernels() {
+        for p in [k.build_small(), k.build_full()] {
+            let text = disassemble(&p);
+            let again = assemble(&text)
+                .unwrap_or_else(|e| panic!("{} disassembly rejected: {e}", k.name));
+            assert_eq!(p.name(), again.name(), "{}", k.name);
+            assert_eq!(p.insts(), again.insts(), "{}", k.name);
+            assert_eq!(p.data(), again.data(), "{}", k.name);
+        }
+    }
+}
+
+#[test]
+fn every_real_program_round_trips_through_text() {
+    for k in programs() {
+        let p = k.build_small();
+        let text = disassemble(&p);
+        let again =
+            assemble(&text).unwrap_or_else(|e| panic!("{} disassembly rejected: {e}", k.name));
+        assert_eq!(p.insts(), again.insts(), "{}", k.name);
+        assert_eq!(p.data(), again.data(), "{}", k.name);
+    }
+}

@@ -62,6 +62,16 @@ $FIG --quick --small --no-cache -j 1 --sim-threads 4 >"$CACHE/cmp_s4.txt"
 cmp "$CACHE/cmp_s1.txt" "$CACHE/cmp_s4.txt"
 target/release/fig17_scale --quick --small --no-cache -j 1 --sim-threads 4 >/dev/null
 
+echo "==> assembler gate: every bundled .s program assembles (asmcheck)"
+target/release/asmcheck crates/workloads/asm/*.s
+
+echo "==> real-program cross-validation smoke: thread-count byte-identity"
+RP=target/release/fig_realprog
+$RP --quick --small --no-cache -j 1 >"$CACHE/rp_j1.txt" 2>/dev/null
+$RP --quick --small --no-cache -j 4 >"$CACHE/rp_j4.txt" 2>/dev/null
+cmp "$CACHE/rp_j1.txt" "$CACHE/rp_j4.txt"
+grep -q "pairs fully agree" "$CACHE/rp_j1.txt"
+
 echo "==> fault injection: panic / livelock / runaway isolation end to end"
 cargo test -q -p bfetch-bench --test faults
 
