@@ -11,9 +11,12 @@
 //! cargo bench -p bfetch-bench --features criterion-benches --bench hotpath
 //! ```
 
-use bfetch_mem::{CacheConfig, HitLevel, MemorySystem, MshrFile, SetAssocCache};
-use bfetch_sim::{Core, PrefetcherKind, SimConfig};
-use bfetch_workloads::{kernel_by_name, Scale};
+use bfetch_mem::{
+    drain_chip, CacheConfig, ChipGuard, HitLevel, MemorySystem, MshrFile, SetAssocCache,
+    SharedTurn,
+};
+use bfetch_sim::{Core, PrefetcherKind, SeqMem, SimConfig};
+use bfetch_workloads::{kernel_by_name, kernels, Scale};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -92,16 +95,74 @@ fn main() {
 
     // Full Core::cycle on a pointer-chasing kernel with the B-Fetch engine
     // attached: fetch, schedule, commit, prefetch issue — the whole
-    // per-cycle loop that ext_simspeed measures end to end.
-    let k = kernel_by_name("mcf").expect("kernel registered");
-    let cfg = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
-    let mut core = Core::new(0, k.build(Scale::Small), &cfg);
-    let mut mem = MemorySystem::new(cfg.hierarchy(1));
+    // per-cycle loop that ext_simspeed measures end to end. The no-prefetch
+    // variant isolates the engine's per-cycle cost (tick + decode hooks +
+    // commit training) from the pipeline model itself.
+    for (name, pf) in [
+        ("core_cycle_mcf_bfetch", PrefetcherKind::BFetch),
+        ("core_cycle_mcf_nopf", PrefetcherKind::None),
+    ] {
+        let k = kernel_by_name("mcf").expect("kernel registered");
+        let cfg = SimConfig::baseline().with_prefetcher(pf);
+        let mut core = Core::new(0, k.build(Scale::Small), &cfg);
+        let mut mem = MemorySystem::new(cfg.hierarchy(1));
+        let mut now = 0u64;
+        bench(name, || {
+            now += 1;
+            core.cycle(now, &mut mem);
+            mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
+            core.counters().committed
+        });
+    }
+
+    // The per-cycle feedback sweep over an 8-core chip with nothing queued:
+    // the fixed cost every mix8 cycle pays whether or not prefetch feedback
+    // arrived.
+    let cfg8 = SimConfig::baseline().with_prefetcher(PrefetcherKind::BFetch);
+    let (mut fb_mems, _fb_shared) = MemorySystem::new(cfg8.hierarchy(8)).into_parts();
+    bench("drain_feedback_idle8", || {
+        let mut n = 0u32;
+        for m in fb_mems.iter_mut() {
+            m.drain_feedback(|_| n += 1);
+        }
+        n
+    });
+
+    // One full shared-turn cycle for 8 cores that make no shared request:
+    // begin_cycle + 8 lock-free finish_core calls (the turn-skip path the
+    // parallel engine pays per cycle per core).
+    let (_, turn_shared) = MemorySystem::new(cfg8.hierarchy(8)).into_parts();
+    let turn = SharedTurn::new(turn_shared, 8);
+    bench("l3_turn_gate_skip8", || {
+        turn.begin_cycle();
+        for core in 0..8 {
+            turn.finish_core(core);
+        }
+    });
+
+    // One full mix8 engine cycle, exactly as the sequential engine runs it:
+    // chip drain, 8 cores stepped through the SeqMem view, end-of-cycle
+    // feedback + guard notes. This is the unit ext_simspeed's mix8 row
+    // measures millions of (same mix: the first eight registry kernels).
+    let (mut mems, mut shared) = MemorySystem::new(cfg8.hierarchy(8)).into_parts();
+    let mut guard = ChipGuard::new();
+    let mut cores: Vec<Core> = kernels()
+        .iter()
+        .take(8)
+        .enumerate()
+        .map(|(i, k)| Core::new(i, k.build(Scale::Small), &cfg8))
+        .collect();
     let mut now = 0u64;
-    bench("core_cycle_mcf_bfetch", || {
+    bench("mix8_cycle", || {
+        drain_chip(&mut mems, &mut shared, now, &mut guard);
+        for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
+            c.cycle(now, &mut SeqMem::new(m, &mut shared));
+        }
+        for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
+            m.drain_feedback(|fb| c.feedback(fb.pc_hash, fb.useful));
+            guard.note(m.take_sched_min());
+        }
         now += 1;
-        core.cycle(now, &mut mem);
-        mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
-        core.counters().committed
+        now
     });
 }

@@ -7,6 +7,7 @@ use crate::config::{BFetchConfig, StorageReport};
 use crate::filter::PerLoadFilter;
 use crate::mht::MemoryHistoryTable;
 use bfetch_bpred::{CompositeConfidence, DirectionPredictor, PathConfidence, SpeculativeCursor};
+use bfetch_mem::probe::find_line;
 use bfetch_mem::{line_of, LINE_BYTES};
 use bfetch_stats::trace::{DropReason, TraceKind, Tracer};
 use std::collections::VecDeque;
@@ -119,6 +120,11 @@ pub struct BFetchEngine {
     filter: PerLoadFilter,
     dbr: VecDeque<DecodedBranch>,
     queue: VecDeque<PrefetchCandidate>,
+    // the queued candidates' line addresses, mirrored in push/drain order,
+    // so the per-candidate dedup check is a flat chunked `find_line` scan
+    // instead of an O(queue) `line_of` recomputation per element — the
+    // single hottest comparison loop in a deep lookahead walk
+    queue_lines: VecDeque<u64>,
     iqueue: VecDeque<u64>,
     last_branch: Option<(u64, bool, u64)>, // (pc, taken, actual target)
     cur_bb: Option<(u64, u64)>,            // (key, branch pc)
@@ -146,6 +152,7 @@ impl BFetchEngine {
             filter: PerLoadFilter::new(cfg.filter_entries, cfg.filter_threshold),
             dbr: VecDeque::with_capacity(cfg.dbr_entries),
             queue: VecDeque::with_capacity(cfg.queue_entries),
+            queue_lines: VecDeque::with_capacity(cfg.queue_entries),
             iqueue: VecDeque::with_capacity(cfg.queue_entries),
             last_branch: None,
             cur_bb: None,
@@ -214,11 +221,12 @@ impl BFetchEngine {
     }
 
     fn push_candidate(&mut self, addr: u64, pc_hash: u16, now: u64) {
+        debug_assert_eq!(self.queue.len(), self.queue_lines.len());
         let line = line_of(addr);
-        if self.recent_lines.contains(&line) {
+        if find_line(&self.recent_lines, line).is_some() {
             return; // queued or issued moments ago
         }
-        if self.queue.iter().any(|c| line_of(c.addr) == line) {
+        if deque_contains_line(&self.queue_lines, line) {
             return; // already queued
         }
         if self.queue.len() >= self.cfg.queue_entries {
@@ -237,6 +245,7 @@ impl BFetchEngine {
         self.recent_lines[self.recent_pos] = line;
         self.recent_pos = (self.recent_pos + 1) % self.recent_lines.len();
         self.queue.push_back(PrefetchCandidate { addr, pc_hash });
+        self.queue_lines.push_back(line);
     }
 
     fn emit_for_block(&mut self, key: u64, branch_pc: u64, loop_cnt: u32, now: u64) {
@@ -357,6 +366,20 @@ impl BFetchEngine {
                 }
             }
 
+            // Both possible next-block keys are known the moment the BrTC
+            // entry returns, but the walk won't probe either table until
+            // the direction predictor and confidence estimator below have
+            // run — hint both so the entry lines are in flight behind that
+            // work. Pure cache hints, no architectural effect.
+            let key_t = bb_key(next_branch_pc, true, next_taken_target);
+            self.mht.prefetch_hint(key_t);
+            self.brtc.prefetch_hint(key_t);
+            if next_is_cond {
+                let key_n = bb_key(next_branch_pc, false, next_branch_pc + 4);
+                self.mht.prefetch_hint(key_n);
+                self.brtc.prefetch_hint(key_n);
+            }
+
             if next_is_cond {
                 let ghr_before = cursor.ghr();
                 let pred = cursor.predict_and_advance(bp, next_branch_pc);
@@ -389,6 +412,7 @@ impl BFetchEngine {
         max: usize,
     ) -> impl Iterator<Item = PrefetchCandidate> + '_ {
         let n = max.min(self.queue.len());
+        self.queue_lines.drain(..n);
         self.queue.drain(..n)
     }
 
@@ -401,7 +425,7 @@ impl BFetchEngine {
 
     fn push_inst_candidate(&mut self, pc: u64) {
         let line = pc & !63;
-        if self.iqueue.iter().any(|&l| l == line) || self.iqueue.len() >= self.cfg.queue_entries {
+        if deque_contains_line(&self.iqueue, line) || self.iqueue.len() >= self.cfg.queue_entries {
             return;
         }
         self.iqueue.push_back(line);
@@ -475,6 +499,13 @@ impl BFetchEngine {
     pub fn arf(&self) -> &AlternateRegisterFile {
         &self.arf
     }
+}
+
+/// Chunked [`find_line`] over a deque's two contiguous halves.
+#[inline]
+fn deque_contains_line(dq: &VecDeque<u64>, line: u64) -> bool {
+    let (a, b) = dq.as_slices();
+    find_line(a, line).is_some() || find_line(b, line).is_some()
 }
 
 /// The 10-bit load-PC hash (same function the hierarchy tags lines with).

@@ -55,12 +55,19 @@ impl MhtSlot {
     }
 }
 
+/// Per-entry header: the tag pair plus allocation state. The slots
+/// themselves live in one flat `Vec<MhtSlot>` at stride `slots_per_entry`
+/// (entry `i` owns `slots[i*spe .. (i+1)*spe]`), so a probe touches the
+/// dense header lane first and only dereferences slot storage on a tag
+/// match — no per-entry heap hop.
 #[derive(Debug, Clone)]
 struct Entry {
     tag: u64, // block-entry branch PC (Fig 6: 32-bit Branch field)
     key: u64,
-    slots: Vec<MhtSlot>,
-    alloc_rr: usize,
+    alloc_rr: u32,
+    /// One bit per valid slot, mirroring the slots' `valid` flags, so a
+    /// lookup can reject empty entries without reading slot storage.
+    valid_mask: u32,
 }
 
 /// The Memory History Table: one entry per basic block (indexed by the
@@ -84,6 +91,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct MemoryHistoryTable {
     entries: Vec<Entry>,
+    slots: Vec<MhtSlot>,
     mask: usize,
     slots_per_entry: usize,
     lookups: u64,
@@ -100,14 +108,16 @@ impl MemoryHistoryTable {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
         assert!(slots_per_entry > 0, "need at least one slot");
         Self {
-            entries: (0..entries)
-                .map(|_| Entry {
+            entries: vec![
+                Entry {
                     tag: 0,
                     key: 0,
-                    slots: vec![MhtSlot::INVALID; slots_per_entry],
                     alloc_rr: 0,
-                })
-                .collect(),
+                    valid_mask: 0,
+                };
+                entries
+            ],
+            slots: vec![MhtSlot::INVALID; entries * slots_per_entry],
             mask: entries - 1,
             slots_per_entry,
             lookups: 0,
@@ -132,23 +142,24 @@ impl MemoryHistoryTable {
         let idx = (key as usize) & self.mask;
         let slots_per_entry = self.slots_per_entry;
         let e = &mut self.entries[idx];
+        let slots = &mut self.slots[idx * slots_per_entry..(idx + 1) * slots_per_entry];
         if e.tag != branch_pc || e.key != key {
             // aliasing or first touch: reallocate the whole entry
             e.tag = branch_pc;
             e.key = key;
             e.alloc_rr = 0;
-            for s in &mut e.slots {
+            e.valid_mask = 0;
+            for s in slots.iter_mut() {
                 *s = MhtSlot::INVALID;
             }
         }
 
         // exact owner slot: same register, same training load
-        if let Some(pos) = e
-            .slots
+        if let Some(pos) = slots
             .iter()
             .position(|s| s.valid && s.reg_idx == reg_idx && s.load_pc_hash == load_pc_hash)
         {
-            let s = &mut e.slots[pos];
+            let s = &mut slots[pos];
             // same load, re-executed: refresh the offset and learn the
             // loop stride from consecutive EAs
             let delta = ea.wrapping_sub(s.last_ea) as i64;
@@ -164,8 +175,8 @@ impl MemoryHistoryTable {
         // a sibling load off an already tracked register: if its line falls
         // within the ±5-block pattern window of that slot, record it there
         // (Listing 2's consecutive-loads case) instead of burning a slot
-        if let Some(pos) = e.slots.iter().position(|s| s.valid && s.reg_idx == reg_idx) {
-            let s = &mut e.slots[pos];
+        if let Some(pos) = slots.iter().position(|s| s.valid && s.reg_idx == reg_idx) {
+            let s = &mut slots[pos];
             let own_line = (s.reg_val.wrapping_add(s.offset as u64) / LINE_BYTES) as i64;
             let sib_line = (ea / LINE_BYTES) as i64;
             match sib_line - own_line {
@@ -186,18 +197,18 @@ impl MemoryHistoryTable {
         // displace if this register is not already tracked — clobbering an
         // established owner for an out-of-window sibling would churn the
         // entry every iteration and destroy its learned loop deltas
-        let pos = match e.slots.iter().position(|s| !s.valid) {
+        let pos = match slots.iter().position(|s| !s.valid) {
             Some(free) => free,
             None => {
-                if e.slots.iter().any(|s| s.reg_idx == reg_idx) {
+                if slots.iter().any(|s| s.reg_idx == reg_idx) {
                     return;
                 }
-                let rr = e.alloc_rr;
-                e.alloc_rr = (rr + 1) % slots_per_entry;
+                let rr = e.alloc_rr as usize;
+                e.alloc_rr = ((rr + 1) % slots_per_entry) as u32;
                 rr
             }
         };
-        e.slots[pos] = MhtSlot {
+        slots[pos] = MhtSlot {
             reg_idx,
             reg_val: reg_val_at_branch,
             offset: ea.wrapping_sub(reg_val_at_branch) as i64,
@@ -208,6 +219,7 @@ impl MemoryHistoryTable {
             last_ea: ea,
             valid: true,
         };
+        e.valid_mask |= 1 << pos;
     }
 
     /// Looks up the register-history slots for the block entered via
@@ -216,12 +228,36 @@ impl MemoryHistoryTable {
         self.lookups += 1;
         let idx = (key as usize) & self.mask;
         let e = &self.entries[idx];
-        if e.tag == branch_pc && e.key == key && e.slots.iter().any(|s| s.valid) {
+        if e.tag == branch_pc && e.key == key && e.valid_mask != 0 {
             self.hits += 1;
-            Some(&self.entries[idx].slots)
+            let spe = self.slots_per_entry;
+            Some(&self.slots[idx * spe..(idx + 1) * spe])
         } else {
             None
         }
+    }
+
+    /// Cache-prefetch hint: pulls the entry header and its slot lane for
+    /// `key` toward L1 ahead of a `lookup`. No architectural effect — the
+    /// lookahead walk calls this for both possible next-block keys while
+    /// the direction predictor is still deciding which one it will probe.
+    #[inline]
+    pub fn prefetch_hint(&self, key: u64) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: both pointers stay inside their Vec's allocation (idx is
+        // masked to the table size) and _mm_prefetch has no side effects
+        // beyond the cache hint.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let idx = (key as usize) & self.mask;
+            _mm_prefetch(self.entries.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(
+                self.slots.as_ptr().add(idx * self.slots_per_entry) as *const i8,
+                _MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = key;
     }
 
     /// `(lookups, hits)` counters.

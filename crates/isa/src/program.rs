@@ -2,6 +2,7 @@
 
 use crate::inst::Inst;
 use crate::mem::SparseMemory;
+use std::sync::Arc;
 
 /// Base byte address at which code is laid out (for I-cache modelling and
 /// PC hashing). Data segments must live below or well above this.
@@ -14,11 +15,17 @@ pub const INST_BYTES: u64 = 4;
 ///
 /// Instruction indices are the canonical "location" unit; byte PCs (as seen
 /// by predictors and prefetchers) are derived with [`Program::pc_addr`].
+///
+/// The instruction stream and data image are immutable once built and are
+/// shared behind `Arc`, so `Clone` is O(1) and the many per-core copies a
+/// CMP run makes (one per [`Core`](../bfetch_sim) plus the caller's) all
+/// alias one allocation. Data images run to megabytes (mcf's is ~12 MB), so
+/// this sharing is what keeps multi-program peak RSS flat.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
-    name: String,
-    insts: Vec<Inst>,
-    data: Vec<(u64, Vec<u64>)>,
+    name: Arc<str>,
+    insts: Arc<[Inst]>,
+    data: Arc<[(u64, Vec<u64>)]>,
 }
 
 impl Program {
@@ -37,9 +44,9 @@ impl Program {
             }
         }
         Self {
-            name: name.into(),
-            insts,
-            data,
+            name: name.into().into(),
+            insts: insts.into(),
+            data: data.into(),
         }
     }
 
@@ -98,7 +105,7 @@ impl Program {
 
     /// Materializes the initial data image into `mem`.
     pub fn load_data(&self, mem: &mut SparseMemory) {
-        for (base, words) in &self.data {
+        for (base, words) in self.data.iter() {
             mem.store_words(*base, words);
         }
     }

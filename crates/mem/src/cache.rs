@@ -77,6 +77,9 @@ impl CacheStats {
 /// sentinel. Associativities are ≤ 16, far below the sentinel.
 const INVALID: u8 = u8::MAX;
 
+// The lane-parallel probe re-declares the sentinel; they must never drift.
+const _: () = assert!(INVALID == crate::probe::INVALID_RANK);
+
 /// A set-associative, LRU-replacement cache over 64 B lines.
 ///
 /// Timing lives in the [`hierarchy`](crate::hierarchy); this type tracks
@@ -156,9 +159,9 @@ impl SetAssocCache {
     /// Index of `line`'s way within `base..base + ways`, if present.
     #[inline]
     fn find(&self, base: usize, line: u64) -> Option<usize> {
-        let ways = self.cfg.ways;
-        (base..base + ways)
-            .find(|&i| self.ranks[i] != INVALID && self.tags[i] == line)
+        let end = base + self.cfg.ways;
+        crate::probe::find_way(&self.tags[base..end], &self.ranks[base..end], line)
+            .map(|way| base + way)
     }
 
     /// Makes way `i` the set's MRU: every valid way younger than it ages

@@ -36,6 +36,7 @@ pub mod cache;
 pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
+pub mod probe;
 pub mod sync;
 
 pub use cache::{CacheConfig, CacheStats, LineMeta, SetAssocCache};

@@ -1,6 +1,7 @@
 //! Miss status holding registers.
 
 use crate::hierarchy::HitLevel;
+use crate::probe::{self, NO_LINE};
 
 /// Result of consulting the MSHR file for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,9 +29,11 @@ pub enum MshrOutcome {
 }
 
 /// One register of the file. `valid` gates the slot: real hardware keeps a
-/// fixed bank of registers and a free bit per entry, and the flat layout
-/// keeps every lookup a short linear probe over one contiguous array
-/// instead of a `HashMap` walk.
+/// fixed bank of registers and a free bit per entry. Lookups do not touch
+/// these records at all — the line keys live in the separate flat
+/// [`MshrFile::lines`] array so a probe is one contiguous `u64` scan; the
+/// `line`/`valid` fields here are the payload-side mirror used by victim
+/// selection and the expiry sweep.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     line: u64,
@@ -57,10 +60,13 @@ const FREE: Slot = Slot {
 /// fill returns — modelling the structural stall a full MSHR file causes.
 ///
 /// The file is a fixed-capacity array sized at construction; MSHR files
-/// are small (4–32 entries), so probes are linear scans that stay within
-/// one or two cache lines and never allocate. Victim selection on an
-/// overfull insert is by `(complete_at, line)`, which is deterministic by
-/// construction — no iteration-order tie-break needed.
+/// are small (4–32 entries), so probes are lane-parallel scans (see
+/// [`crate::probe`]) over a flat key array that stays within one or two
+/// cache lines and never allocates. Free slots hold [`NO_LINE`] in the key
+/// array — line addresses are 64 B aligned, so the sentinel can never
+/// collide with a live key and validity needs no second lane. Victim
+/// selection on an overfull insert is by `(complete_at, line)`, which is
+/// deterministic by construction — no iteration-order tie-break needed.
 ///
 /// # Example
 ///
@@ -74,6 +80,10 @@ const FREE: Slot = Slot {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     slots: Box<[Slot]>,
+    /// Probe keys, parallel to `slots`: `lines[i] == slots[i].line` when
+    /// `slots[i].valid`, [`NO_LINE`] otherwise. The only array a lookup
+    /// reads.
+    lines: Box<[u64]>,
     live: usize,
     /// Earliest `complete_at` among valid slots (`u64::MAX` when empty):
     /// lets [`MshrFile::expire`] skip the slot sweep entirely on the hot
@@ -93,6 +103,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         Self {
             slots: vec![FREE; capacity].into_boxed_slice(),
+            lines: vec![NO_LINE; capacity].into_boxed_slice(),
             live: 0,
             earliest: u64::MAX,
             merges: 0,
@@ -102,9 +113,7 @@ impl MshrFile {
 
     #[inline]
     fn find(&self, line: u64) -> Option<usize> {
-        self.slots
-            .iter()
-            .position(|s| s.valid && s.line == line)
+        probe::find_line(&self.lines, line)
     }
 
     /// Drops entries whose fills have completed by `now`.
@@ -113,10 +122,11 @@ impl MshrFile {
             return; // nothing can have completed yet
         }
         let mut earliest = u64::MAX;
-        for s in self.slots.iter_mut() {
+        for (i, s) in self.slots.iter_mut().enumerate() {
             if s.valid {
                 if s.complete_at <= now {
                     s.valid = false;
+                    self.lines[i] = NO_LINE;
                     self.live -= 1;
                 } else {
                     earliest = earliest.min(s.complete_at);
@@ -169,6 +179,7 @@ impl MshrFile {
         pc_hash: u16,
         level: HitLevel,
     ) {
+        debug_assert_ne!(line, NO_LINE, "64 B-aligned lines never hit the sentinel");
         if self.live >= self.slots.len() {
             let victim = self
                 .slots
@@ -179,6 +190,7 @@ impl MshrFile {
                 .map(|(i, _)| i)
                 .expect("full file has a victim");
             self.slots[victim].valid = false;
+            self.lines[victim] = NO_LINE;
             self.live -= 1;
         }
         let entry = Slot {
@@ -196,12 +208,9 @@ impl MshrFile {
         match self.find(line) {
             Some(i) => self.slots[i] = entry,
             None => {
-                let i = self
-                    .slots
-                    .iter()
-                    .position(|s| !s.valid)
-                    .expect("eviction freed a slot");
+                let i = probe::find_line(&self.lines, NO_LINE).expect("eviction freed a slot");
                 self.slots[i] = entry;
+                self.lines[i] = line;
                 self.live += 1;
             }
         }

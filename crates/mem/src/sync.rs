@@ -20,7 +20,25 @@
 //! wakes every blocked gate and makes it panic too; the engine catches
 //! those unwinds and surfaces the *first* panic as a typed error instead of
 //! deadlocking on a turn that will never come.
+//!
+//! # Turn skip
+//!
+//! The turn/done protocol state lives in atomics *outside* the mutex, so a
+//! core that made no shared request this cycle finishes with one flag
+//! store, a lock-free turn advance, and — only when a peer is actually
+//! blocked — a condvar wake. The mutex guards just the [`SharedMem`]
+//! payload and the panic message; in the common CMP cycle where few cores
+//! reach the shared levels, most cores never touch it at all.
+//!
+//! The wake handshake avoids the lost-wakeup race as follows: a waiter
+//! increments `waiters` *before* re-checking the turn (both under the
+//! mutex), while a finisher stores the new turn *before* loading
+//! `waiters` — all SeqCst, so whichever ordered first, either the waiter
+//! sees the new turn and never sleeps, or the finisher sees the waiter
+//! count and takes the lock/notify path (the lock acquisition serializes
+//! against the waiter's check-then-sleep, which holds the mutex).
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::hierarchy::{AccessOutcome, HitLevel, MemStats, PendingFill, SharedLevel, SharedMem};
@@ -28,12 +46,6 @@ use crate::hierarchy::{AccessOutcome, HitLevel, MemStats, PendingFill, SharedLev
 #[derive(Debug)]
 struct TurnInner {
     shared: SharedMem,
-    /// The core whose shared operations are currently allowed.
-    turn: usize,
-    /// Which cores have finished the current cycle.
-    done: Box<[bool]>,
-    /// Set when a worker panicked; every gate panics instead of waiting.
-    poisoned: bool,
     /// The first panic observed: `(core, message)`.
     panic_msg: Option<(usize, String)>,
 }
@@ -46,6 +58,16 @@ struct TurnInner {
 pub struct SharedTurn {
     inner: Mutex<TurnInner>,
     turn_advanced: Condvar,
+    /// The core whose shared operations are currently allowed (`== cores`
+    /// once every core has finished the cycle).
+    turn: AtomicUsize,
+    /// Which cores have finished the current cycle.
+    done: Box<[AtomicBool]>,
+    /// Gates currently blocked in the condvar wait loop (or committed to
+    /// entering it — incremented before the sleep decision is made).
+    waiters: AtomicUsize,
+    /// Set when a worker panicked; every gate panics instead of waiting.
+    poisoned: AtomicBool,
 }
 
 impl SharedTurn {
@@ -54,12 +76,13 @@ impl SharedTurn {
         Self {
             inner: Mutex::new(TurnInner {
                 shared,
-                turn: 0,
-                done: vec![false; cores].into_boxed_slice(),
-                poisoned: false,
                 panic_msg: None,
             }),
             turn_advanced: Condvar::new(),
+            turn: AtomicUsize::new(0),
+            done: (0..cores).map(|_| AtomicBool::new(false)).collect(),
+            waiters: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -77,28 +100,43 @@ impl SharedTurn {
     /// Resets the turn to core 0 with no cores done. Called by the
     /// coordinator between cycles, while no worker is stepping.
     pub fn begin_cycle(&self) {
-        let mut g = self.lock();
-        g.turn = 0;
-        g.done.iter_mut().for_each(|d| *d = false);
+        for d in self.done.iter() {
+            d.store(false, SeqCst);
+        }
+        self.turn.store(0, SeqCst);
     }
 
     /// Marks `core` done for this cycle and advances the turn over every
-    /// consecutively-done core, waking blocked gates.
+    /// consecutively-done core, waking blocked gates if there are any.
+    ///
+    /// Lock-free unless a peer is blocked: a core with no shared requests
+    /// this cycle passes through here without ever touching the mutex.
     pub fn finish_core(&self, core: usize) {
-        let mut g = self.lock();
-        g.done[core] = true;
-        while g.turn < g.done.len() && g.done[g.turn] {
-            g.turn += 1;
+        self.done[core].store(true, SeqCst);
+        loop {
+            let t = self.turn.load(SeqCst);
+            if t < self.done.len() && self.done[t].load(SeqCst) {
+                // A racing finisher may advance first; either way the turn
+                // moves, so just re-examine.
+                let _ = self.turn.compare_exchange(t, t + 1, SeqCst, SeqCst);
+            } else {
+                break;
+            }
         }
-        drop(g);
-        self.turn_advanced.notify_all();
+        if self.waiters.load(SeqCst) > 0 {
+            // Serialize with a waiter that is between its turn re-check and
+            // its condvar sleep (it holds the mutex for that window), then
+            // wake everyone to re-check the advanced turn.
+            drop(self.lock());
+            self.turn_advanced.notify_all();
+        }
     }
 
     /// Records a worker panic and wakes every blocked gate so the cycle
     /// unwinds instead of deadlocking. The first message wins.
     pub fn poison(&self, core: usize, message: String) {
         let mut g = self.lock();
-        g.poisoned = true;
+        self.poisoned.store(true, SeqCst);
         if g.panic_msg.is_none() {
             g.panic_msg = Some((core, message));
         }
@@ -136,22 +174,34 @@ pub struct TurnGate<'a> {
 }
 
 impl TurnGate<'_> {
-    /// Locks, waits for this core's turn (or panics if the cycle was
-    /// poisoned by another worker's panic), and runs `op` on the shared
-    /// levels.
+    /// Waits for this core's turn (or panics if the cycle was poisoned by
+    /// another worker's panic), then runs `op` on the shared levels.
+    ///
+    /// Once `turn == core` it cannot move past this core — only this core's
+    /// own [`SharedTurn::finish_core`] sets the `done` flag the advance
+    /// loop needs — so holding the turn across the lock acquisition is
+    /// race-free.
     fn in_turn<R>(&self, op: impl FnOnce(&mut SharedMem) -> R) -> R {
-        let mut g = self.turn.lock();
-        while g.turn != self.core {
-            if g.poisoned {
-                panic!("shared turn poisoned by another core's panic");
+        let t = self.turn;
+        let mut g = if t.turn.load(SeqCst) == self.core && !t.poisoned.load(SeqCst) {
+            t.lock()
+        } else {
+            // Slow path: register as a waiter *before* re-checking the turn
+            // (see the module docs for the lost-wakeup argument), sleep
+            // until the turn arrives, deregister.
+            let mut g = t.lock();
+            t.waiters.fetch_add(1, SeqCst);
+            while t.turn.load(SeqCst) != self.core && !t.poisoned.load(SeqCst) {
+                g = t
+                    .turn_advanced
+                    .wait(g)
+                    .unwrap_or_else(|e| e.into_inner());
             }
-            g = self
-                .turn
-                .turn_advanced
-                .wait(g)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        if g.poisoned {
+            t.waiters.fetch_sub(1, SeqCst);
+            g
+        };
+        if t.poisoned.load(SeqCst) {
+            drop(g);
             panic!("shared turn poisoned by another core's panic");
         }
         op(&mut g.shared)
@@ -253,11 +303,33 @@ mod tests {
         // Cores 1 and 2 finish before core 0 has taken its turn.
         turn.finish_core(1);
         turn.finish_core(2);
-        assert_eq!(turn.lock().turn, 0);
+        assert_eq!(turn.turn.load(SeqCst), 0);
         turn.finish_core(0);
-        assert_eq!(turn.lock().turn, 3);
+        assert_eq!(turn.turn.load(SeqCst), 3);
         turn.finish_core(3);
-        assert_eq!(turn.lock().turn, 4);
+        assert_eq!(turn.turn.load(SeqCst), 4);
+    }
+
+    #[test]
+    fn idle_cores_pass_the_turn_without_touching_shared() {
+        // Cores 0-2 make no shared requests; their finishes alone must
+        // unblock core 3's gate (the lock-free advance path).
+        let n = 4;
+        let turn = Arc::new(SharedTurn::new(shared_for(n), n));
+        turn.begin_cycle();
+        std::thread::scope(|s| {
+            let t = Arc::clone(&turn);
+            let blocked = s.spawn(move || {
+                let mut gate = t.gate(3);
+                gate.mark_fill_used(3, 0);
+                t.finish_core(3);
+            });
+            for core in 0..3 {
+                turn.finish_core(core);
+            }
+            blocked.join().unwrap();
+        });
+        assert_eq!(turn.turn.load(SeqCst), 4);
     }
 
     #[test]

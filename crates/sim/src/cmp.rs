@@ -6,7 +6,10 @@ use crate::error::{DiagSnapshot, SimError};
 use crate::session::SimSession;
 use bfetch_core::EngineStats;
 use bfetch_isa::Program;
-use bfetch_mem::{MemStats, MemorySystem};
+use bfetch_mem::{
+    drain_chip, AccessKind, AccessOutcome, ChipGuard, CoreMem, CoreProbe, MemStats,
+    MemoryInterface, MemorySystem, SharedMem,
+};
 use bfetch_stats::cpi::{CpiStack, TimelineSample};
 use bfetch_stats::trace::{LifecycleCounts, TraceEvent, TraceSink, Tracer};
 use bfetch_stats::StatsRegistry;
@@ -237,10 +240,70 @@ fn check_faults(cfg: &SimConfig, cores: &[Core], frozen: &mut bool) {
     }
 }
 
-fn snapshot_cores(cores: &[Core], mem: &MemorySystem, now: u64) -> DiagSnapshot {
+fn snapshot_cores(cores: &[Core], mems: &[CoreMem], now: u64) -> DiagSnapshot {
     DiagSnapshot {
         cycle: now,
-        cores: cores.iter().map(|c| c.diag(mem)).collect(),
+        cores: cores
+            .iter()
+            .zip(mems)
+            .map(|(c, m)| c.diag(&CoreProbe(m)))
+            .collect(),
+    }
+}
+
+/// The memory system as the sequential engine's cores see it: the stepping
+/// core's private hierarchy plus the shared levels, borrowed directly for
+/// the duration of one [`Core::cycle`] call.
+///
+/// This replaces driving cores through the [`MemorySystem`] facade, whose
+/// per-access ceremony (a chip-drain guard check, a core-index bounds
+/// check, and a scheduled-minimum note) is pure overhead inside a cycle:
+/// fills complete strictly in the future, so the cycle-start [`drain_chip`]
+/// already anchors the install point, and the guard notes are equivalent
+/// when taken once per core at end of cycle (see the per-cycle loop).
+pub struct SeqMem<'a> {
+    mem: &'a mut CoreMem,
+    shared: &'a mut SharedMem,
+}
+
+impl<'a> SeqMem<'a> {
+    /// Borrows one core's private hierarchy plus the shared levels for one
+    /// [`Core::cycle`] call. Public so the hot-path microbenches can step
+    /// the exact view the sequential engine uses.
+    pub fn new(mem: &'a mut CoreMem, shared: &'a mut SharedMem) -> Self {
+        Self { mem, shared }
+    }
+}
+
+impl MemoryInterface for SeqMem<'_> {
+    fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> AccessOutcome {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.access(self.shared, kind, addr, now)
+    }
+
+    fn prefetch(&mut self, core: usize, addr: u64, pc_hash: u16, now: u64) -> Option<u64> {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.prefetch(self.shared, addr, pc_hash, now)
+    }
+
+    fn prefetch_inst(&mut self, core: usize, addr: u64, now: u64) -> Option<u64> {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.prefetch_inst(self.shared, addr, now)
+    }
+
+    fn stats(&self, core: usize) -> &MemStats {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.stats()
+    }
+
+    fn mshr_live(&self, core: usize) -> usize {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.mshr_live()
+    }
+
+    fn pf_mshr_live(&self, core: usize) -> usize {
+        debug_assert_eq!(core, self.mem.id());
+        self.mem.pf_mshr_live()
     }
 }
 
@@ -265,7 +328,17 @@ pub(crate) fn run_impl(
     if workers > 1 && !cfg.trace.enabled {
         return crate::parallel::try_run_multi_parallel(programs, cfg, insts, workers);
     }
-    let mut mem = MemorySystem::new(cfg.hierarchy(n));
+    // Split the hierarchy into its per-core and shared halves up front:
+    // cores step against a borrowed `SeqMem` view, so the per-access
+    // facade ceremony (guard check + bounds check + sched-min note) is
+    // hoisted out of the cycle loop entirely. The equivalence argument is
+    // the parallel engine's (DESIGN.md §12/§13): fills complete strictly
+    // in the future, so one cycle-start `drain_chip` anchors the same
+    // install point the facade's per-access drains would, and noting each
+    // core's scheduled minimum once at end of cycle reaches the guard
+    // before the next cycle's drain — the only point that reads it.
+    let (mut mems, mut shared) = MemorySystem::new(cfg.hierarchy(n)).into_parts();
+    let mut guard = ChipGuard::new();
     let mut cores: Vec<Core> = programs
         .iter()
         .enumerate()
@@ -289,138 +362,128 @@ pub(crate) fn run_impl(
     let fault_on = cfg.fault.active();
     let mut frozen = false;
 
-    // ---- warmup ----
-    loop {
-        // Install every fill due by `now` before any core steps. Fills are
-        // always scheduled strictly in the future, so the per-access drains
-        // inside the hierarchy become no-ops for the rest of the cycle and
-        // the install point is cycle-aligned — the anchor the parallel
-        // engine's coordinator replicates (see DESIGN.md §12).
-        mem.drain(now);
-        if !fault_on {
-            for c in cores.iter_mut() {
-                c.cycle(now, &mut mem);
-            }
-        } else if !frozen {
-            for c in cores.iter_mut() {
-                c.cycle(now, &mut mem);
-            }
-            check_faults(cfg, &cores, &mut frozen);
-        }
-        mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
-        now += 1;
-        if cores
-            .iter()
-            .all(|c| c.counters().committed >= cfg.warmup_insts)
-        {
-            break;
-        }
-        if now >= wd_deadline {
-            let total: u64 = cores.iter().map(|c| c.counters().committed).sum();
-            if total == wd_committed {
-                return Err(SimError::Watchdog {
-                    cycle: now,
-                    idle_cycles: wd,
-                    snapshot: snapshot_cores(&cores, &mem, now),
-                });
-            }
-            wd_committed = total;
-            wd_deadline = now + wd;
-        }
-        if now >= hard_cap {
-            return Err(SimError::CycleBudget {
-                phase: "warmup",
-                cycle: now,
-                limit: hard_cap,
-            });
-        }
-    }
-
-    // The tracer is installed *after* warmup so the event stream and the
-    // lifecycle tallies cover exactly the measurement window.
-    let tracer = if cfg.trace.enabled {
-        let t = Tracer::enabled(&cfg.trace);
-        mem.set_tracer(t.clone());
-        for c in cores.iter_mut() {
-            c.set_tracer(&t);
-        }
-        Some(t)
-    } else {
-        None
-    };
-    // CPI accounting starts at the same point: the stack's cycle count then
-    // equals the measurement window exactly (the sum invariant is checked
-    // against `RunResult::cycles`).
-    if cfg.cpi.enabled {
-        for c in cores.iter_mut() {
-            c.enable_cpi(&cfg.cpi, &mem);
-        }
-    }
-
-    // ---- measurement ----
-    let snaps: Vec<Snapshot> = cores
-        .iter()
-        .enumerate()
-        .map(|(i, c)| Snapshot {
-            committed: c.counters().committed,
-            counters: *c.counters(),
-            mem: *mem.stats(i),
-            engine: c.engine().map(|e| *e.stats()),
-            pf_metadata: c.pf_metadata_bytes(),
-            cycle: now,
-        })
-        .collect();
+    // One unified loop for both phases, mirroring the parallel engine's
+    // coordinator: `snaps` is `None` while warming up, and snapshotting it
+    // marks the measurement window.
+    let mut tracer: Option<Tracer> = None;
+    let mut snaps: Option<Vec<Snapshot>> = None;
     let mut finished: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
     let mut remaining = n;
 
-    while remaining > 0 {
-        mem.drain(now);
+    loop {
+        // Install every fill due by `now` before any core steps (fills are
+        // always scheduled strictly in the future, so the install point is
+        // cycle-aligned — the anchor the parallel engine's coordinator
+        // replicates; see DESIGN.md §12).
+        drain_chip(&mut mems, &mut shared, now, &mut guard);
+        // Feedback and guard notes are fused into the stepping pass: a
+        // core's feedback queue is only fed by the cycle-start drain above
+        // and by its own step, and the guard is only read by the *next*
+        // cycle's drain, so draining right after each core steps delivers
+        // the identical events in the identical order while touching each
+        // core's state once per cycle instead of twice.
         if !fault_on {
-            for c in cores.iter_mut() {
-                c.cycle(now, &mut mem);
+            for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
+                c.cycle(now, &mut SeqMem { mem: m, shared: &mut shared });
+                m.drain_feedback(|fb| c.feedback(fb.pc_hash, fb.useful));
+                guard.note(m.take_sched_min());
             }
         } else if !frozen {
-            for c in cores.iter_mut() {
-                c.cycle(now, &mut mem);
+            for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
+                c.cycle(now, &mut SeqMem { mem: m, shared: &mut shared });
+                m.drain_feedback(|fb| c.feedback(fb.pc_hash, fb.useful));
+                guard.note(m.take_sched_min());
             }
             check_faults(cfg, &cores, &mut frozen);
         }
-        mem.drain_feedback(|fb| cores[fb.core].feedback(fb.pc_hash, fb.useful));
         now += 1;
-        for (i, c) in cores.iter().enumerate() {
-            if finished[i].is_some() {
-                continue;
+
+        match &snaps {
+            None => {
+                if cores
+                    .iter()
+                    .all(|c| c.counters().committed >= cfg.warmup_insts)
+                {
+                    // The tracer is installed at the warmup/measurement
+                    // boundary so the event stream and lifecycle tallies
+                    // cover exactly the measurement window.
+                    if cfg.trace.enabled {
+                        let t = Tracer::enabled(&cfg.trace);
+                        for m in mems.iter_mut() {
+                            m.set_tracer(t.clone());
+                        }
+                        for c in cores.iter_mut() {
+                            c.set_tracer(&t);
+                        }
+                        tracer = Some(t);
+                    }
+                    // CPI accounting starts at the same point: the stack's
+                    // cycle count then equals the measurement window exactly
+                    // (the sum invariant is checked against
+                    // `RunResult::cycles`).
+                    if cfg.cpi.enabled {
+                        for (c, m) in cores.iter_mut().zip(mems.iter()) {
+                            c.enable_cpi(&cfg.cpi, &CoreProbe(m));
+                        }
+                    }
+                    snaps = Some(
+                        cores
+                            .iter()
+                            .zip(mems.iter())
+                            .map(|(c, m)| Snapshot {
+                                committed: c.counters().committed,
+                                counters: *c.counters(),
+                                mem: *m.stats(),
+                                engine: c.engine().map(|e| *e.stats()),
+                                pf_metadata: c.pf_metadata_bytes(),
+                                cycle: now,
+                            })
+                            .collect(),
+                    );
+                    // The old two-loop engine broke out of warmup before its
+                    // watchdog/budget checks on the completing cycle; keep
+                    // that cycle-for-cycle behavior.
+                    continue;
+                }
             }
-            let snap = &snaps[i];
-            if c.counters().committed - snap.committed >= insts {
-                let counters = c.counters();
-                finished[i] = Some(RunResult {
-                    workload: c.program_name().to_string(),
-                    prefetcher: cfg.prefetcher.name(),
-                    cycles: now - snap.cycle,
-                    instructions: counters.committed - snap.committed,
-                    mem: mem.stats(i).delta(&snap.mem),
-                    cond_branches: counters.cond_branches - snap.counters.cond_branches,
-                    mispredicts: counters.mispredicts - snap.counters.mispredicts,
-                    branch_fetch_hist: hist_delta(
-                        &counters.branch_fetch_hist,
-                        &snap.counters.branch_fetch_hist,
-                    ),
-                    engine: c
-                        .engine()
-                        .map(|e| e.stats().delta(&snap.engine.expect("snapshot taken"))),
-                    pf_metadata_bytes: c.pf_metadata_bytes() - snap.pf_metadata,
-                    // snapshot at quota time: committed_slots == the window's
-                    // instruction count and cycles == the window's cycles,
-                    // even though fast cores keep running (and sampling)
-                    // until every core finishes
-                    cpi: c.cpi_stack().copied(),
-                });
-                remaining -= 1;
+            Some(snaps) => {
+                for (i, c) in cores.iter().enumerate() {
+                    if finished[i].is_some() {
+                        continue;
+                    }
+                    let snap = &snaps[i];
+                    if c.counters().committed - snap.committed >= insts {
+                        let counters = c.counters();
+                        finished[i] = Some(RunResult {
+                            workload: c.program_name().to_string(),
+                            prefetcher: cfg.prefetcher.name(),
+                            cycles: now - snap.cycle,
+                            instructions: counters.committed - snap.committed,
+                            mem: mems[i].stats().delta(&snap.mem),
+                            cond_branches: counters.cond_branches - snap.counters.cond_branches,
+                            mispredicts: counters.mispredicts - snap.counters.mispredicts,
+                            branch_fetch_hist: hist_delta(
+                                &counters.branch_fetch_hist,
+                                &snap.counters.branch_fetch_hist,
+                            ),
+                            engine: c
+                                .engine()
+                                .map(|e| e.stats().delta(&snap.engine.expect("snapshot taken"))),
+                            pf_metadata_bytes: c.pf_metadata_bytes() - snap.pf_metadata,
+                            // snapshot at quota time: committed_slots == the
+                            // window's instruction count and cycles == the
+                            // window's cycles, even though fast cores keep
+                            // running (and sampling) until every core
+                            // finishes
+                            cpi: c.cpi_stack().copied(),
+                        });
+                        remaining -= 1;
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
             }
-        }
-        if remaining == 0 {
-            break;
         }
         if now >= wd_deadline {
             let total: u64 = cores.iter().map(|c| c.counters().committed).sum();
@@ -428,7 +491,7 @@ pub(crate) fn run_impl(
                 return Err(SimError::Watchdog {
                     cycle: now,
                     idle_cycles: wd,
-                    snapshot: snapshot_cores(&cores, &mem, now),
+                    snapshot: snapshot_cores(&cores, &mems, now),
                 });
             }
             wd_committed = total;
@@ -436,7 +499,11 @@ pub(crate) fn run_impl(
         }
         if now >= hard_cap {
             return Err(SimError::CycleBudget {
-                phase: "measurement",
+                phase: if snaps.is_none() {
+                    "warmup"
+                } else {
+                    "measurement"
+                },
                 cycle: now,
                 limit: hard_cap,
             });
@@ -451,7 +518,7 @@ pub(crate) fn run_impl(
     // Release the cores' and hierarchy's tracer clones so `finish` can
     // unwrap the shared sink without copying it.
     drop(cores);
-    drop(mem);
+    drop(mems);
     Ok((results, tracer.and_then(|t| t.finish()), timeline))
 }
 

@@ -175,6 +175,12 @@ pub struct Core {
     perfect: bool,
     // pipeline
     rob: VecDeque<InFlight>,
+    // dense mirror of the in-flight stores, oldest first: `(seq, word)`
+    // per store still in the ROB. The store-forward probe walks this short
+    // 16-byte-stride deque youngest-first instead of `rposition` over the
+    // full ROB of fat `InFlight` entries — same youngest-older-store
+    // answer, a fraction of the cache traffic.
+    store_q: VecDeque<(u64, u64)>,
     rob_base: u64,
     next_seq: u64,
     issue_ports: PortRing,
@@ -247,6 +253,7 @@ impl Core {
             pf_scratch: Vec::new(),
             perfect,
             rob: VecDeque::with_capacity(cfg.rob_entries),
+            store_q: VecDeque::new(),
             rob_base: 0,
             next_seq: 0,
             issue_ports: PortRing::new(cfg.issue_width, PORT_HORIZON),
@@ -638,6 +645,10 @@ impl Core {
             }
             committed += 1;
             let mut fi = self.rob.pop_front().expect("front exists");
+            if fi.is_store {
+                let popped = self.store_q.pop_front();
+                debug_assert_eq!(popped, Some((fi.seq, fi.ea & !7)));
+            }
             self.rob_base += 1;
             self.counters.committed += 1;
             if self.params.arf_at_retire {
@@ -840,13 +851,13 @@ impl Core {
             // cache
             if self.params.store_forwarding && fi.is_load {
                 let word = fi.ea & !7;
-                let base = self.rob_base;
-                if let Some(pos) = self
-                    .rob
+                if let Some(pseq) = self
+                    .store_q
                     .iter()
-                    .rposition(|e| e.is_store && (e.ea & !7) == word)
+                    .rev()
+                    .find(|&&(_, w)| w == word)
+                    .map(|&(s, _)| s)
                 {
-                    let pseq = base + pos as u64;
                     let mut wait = false;
                     if let Some(pe) = self.entry(pseq) {
                         if pe.scheduled {
@@ -891,6 +902,9 @@ impl Core {
                 self.writers[d as usize] = Some(seq);
             }
 
+            if fi.is_store {
+                self.store_q.push_back((seq, fi.ea & !7));
+            }
             self.rob.push_back(fi);
             self.try_schedule(seq, now);
 

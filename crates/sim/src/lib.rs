@@ -43,7 +43,7 @@ pub use bfetch_stats::{CpiComponent, CpiConfig, CpiStack, TimelineSample, TraceC
 #[allow(deprecated)]
 pub use cmp::{
     run_multi, run_multi_cpi, run_multi_traced, run_single, run_single_cpi, run_single_traced,
-    try_run_multi, try_run_single, CpiRun, RunResult, TracedRun,
+    try_run_multi, try_run_single, CpiRun, RunResult, SeqMem, TracedRun,
 };
 pub use session::{RunOutput, SimSession, TraceOutput};
 pub use config::{FaultInjection, PredictorKind, PrefetcherKind, SimConfig};

@@ -215,6 +215,14 @@ fn worker_loop(ctx: &Ctx<'_>, w: usize, workers: usize, panic_at_insts: u64) {
                         gate: ctx.turn.gate(i),
                     };
                     core.cycle(now, &mut wm);
+                    // Engine feedback, fused with the step (same delivery
+                    // point as the sequential engine's fused loop): the
+                    // queue is fed only by the cycle-start drain and this
+                    // core's own step, and read only by the next cycle's
+                    // drain, so draining here — while the worker still owns
+                    // the slot — is byte-identical to a coordinator pass
+                    // and keeps the serial phase to the guard notes.
+                    mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
                     let done = core.counters().committed;
                     if panic_at_insts > 0 && done >= panic_at_insts {
                         panic!(
@@ -336,13 +344,13 @@ pub(crate) fn try_run_multi_parallel(
                         message,
                     });
                 }
-                // End-of-cycle bookkeeping, in canonical core order: engine
-                // feedback (same delivery point as the sequential engine)
-                // and the chip guard's earliest-event notes.
+                // End-of-cycle bookkeeping, in canonical core order: the
+                // chip guard's earliest-event notes. (Engine feedback is
+                // drained by each worker right after it steps the core —
+                // the only serial per-core work left here is this scalar.)
                 for i in 0..n {
                     // SAFETY: coordinator phase; exclusive access.
-                    let Slot { core, mem } = unsafe { cells.slot(i) };
-                    mem.drain_feedback(|fb| core.feedback(fb.pc_hash, fb.useful));
+                    let Slot { mem, .. } = unsafe { cells.slot(i) };
                     guard.note(mem.take_sched_min());
                 }
                 if fault_on && !frozen && cfg.fault.freeze_at_insts > 0 {

@@ -31,8 +31,12 @@ cargo test --workspace --doc -q
 echo "==> timing benches compile (criterion-benches feature)"
 cargo check -p bfetch-bench --benches --features criterion-benches -q
 
-echo "==> simulator throughput smoke (ext_simspeed --quick)"
-target/release/ext_simspeed --quick --label verify --out target/BENCH_simspeed.json
+echo "==> simulator throughput smoke + mix8 regression gate (ext_simspeed --quick)"
+# The gate compares the mix8/geomean *ratio* against the committed
+# quick_baseline run, so it is immune to overall VM speed and only trips
+# when the CMP stepping path itself regresses by more than 20%.
+target/release/ext_simspeed --quick --label verify --out target/BENCH_simspeed.json \
+  --gate BENCH_simspeed.json --gate-label quick_baseline --gate-pct 20
 
 echo "==> CPI-stack smoke (ext_cpistack --quick) + timeline export"
 target/release/ext_cpistack --quick --small --kernels mcf,libquantum \
@@ -87,5 +91,15 @@ test ! -e "$CACHE/0123456789abcdef.json"
 KEPT=$(sed -n 's/.*cache-gc: kept [0-9]* entries (\([0-9]*\) bytes).*/\1/p' "$CACHE/gc.err")
 [ -n "$KEPT" ] && [ "$KEPT" -le 16384 ] || {
   echo "GC left $KEPT bytes, cap is 16384"; exit 1; }
+
+echo "==> simd feature matrix: explicit SSE2 probes, byte-identical results"
+# Rebuilds the workspace with the opt-in `simd` feature (forwarded from
+# every crate level), reruns the mem-crate suite (includes the
+# scalar-vs-vectorized equivalence property test), and byte-compares a
+# CMP figure's stdout against the default build's run from above.
+cargo build --release --workspace --features bfetch-bench/simd
+cargo test -q -p bfetch-mem --features simd
+$FIG --quick --small --no-cache -j 1 >"$CACHE/cmp_simd.txt"
+cmp "$CACHE/cmp_s1.txt" "$CACHE/cmp_simd.txt"
 
 echo "verify: OK"
