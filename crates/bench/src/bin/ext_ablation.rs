@@ -16,6 +16,7 @@ use bfetch_sim::PrefetcherKind;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     type Tweak = Box<dyn Fn(&mut BFetchConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![

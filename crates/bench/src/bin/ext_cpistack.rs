@@ -96,6 +96,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let _prof = bfetch_bench::profiling::start(&opts);
     // --quick shrinks the budget unless the user pinned one explicitly.
     let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");
     let explicit_warmup = std::env::args().any(|a| a == "--warmup");

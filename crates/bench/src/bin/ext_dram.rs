@@ -10,6 +10,7 @@ use bfetch_stats::{geomean, Table};
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kernels = opts.selected_kernels();
     let models = [

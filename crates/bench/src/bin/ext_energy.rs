@@ -22,6 +22,7 @@ fn storage_kb(kind: PrefetcherKind) -> f64 {
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kernels = opts.selected_kernels();
     let params = EnergyParams::baseline();

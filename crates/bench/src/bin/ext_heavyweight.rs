@@ -14,6 +14,7 @@ use bfetch_stats::{geomean, percent, Table};
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kernels = opts.selected_kernels();
     let kinds = [

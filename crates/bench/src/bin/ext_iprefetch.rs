@@ -16,6 +16,7 @@ use bfetch_workloads::icache_stressor;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let program = icache_stressor(4096);
     let variants: [(&str, PrefetcherKind, bool, usize); 4] = [
         ("no prefetch", PrefetcherKind::None, false, 256usize),

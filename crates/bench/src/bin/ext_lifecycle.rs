@@ -16,6 +16,7 @@ use std::io::Write;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let kernels = opts.selected_kernels();
     let cfg = opts.config(PrefetcherKind::BFetch);
 

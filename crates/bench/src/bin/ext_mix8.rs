@@ -8,6 +8,7 @@ use bfetch_stats::Table;
 
 fn main() {
     let mut opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     // 8-core runs are heavy; default to a smaller window than the 2/4-core
     // figures unless explicitly overridden
     if !std::env::args().any(|a| a == "--instructions" || a == "-n") {

@@ -10,7 +10,8 @@
 //! --quick        reduced instruction budget (CI smoke run)
 //! --label NAME   key for this run in the JSON file (default "current")
 //! --out PATH     output file (default BENCH_simspeed.json in the cwd)
-//! --gate PATH    fail if mix8 regressed >20% vs the committed run in PATH
+//! --gate PATH    fail if mix8 throughput or peak RSS regressed >20%
+//!                vs the committed run in PATH
 //! --gate-label NAME   which run in the gate file to compare (default
 //!                     "quick_baseline")
 //! --gate-pct N   regression tolerance in percent (default 20)
@@ -102,7 +103,7 @@ fn main() {
                      \x20 --quick                  reduced instruction budget (CI smoke run)\n\
                      \x20 --label NAME             run key in the JSON file (default current)\n\
                      \x20 --out PATH               output file (default BENCH_simspeed.json)\n\
-                     \x20 --gate PATH              fail if mix8 regressed vs the run in PATH\n\
+                     \x20 --gate PATH              fail if mix8 speed or peak RSS regressed vs PATH\n\
                      \x20 --gate-label NAME        gate-file run to compare (quick_baseline)\n\
                      \x20 --gate-pct N             regression tolerance, percent (20)\n\
                      {}",
@@ -121,6 +122,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let _prof = bfetch_bench::profiling::start(&opts);
     // Timing runs are strictly serial and never touch the result cache;
     // --quick shrinks the budget unless the user pinned one explicitly.
     let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");
@@ -239,6 +241,31 @@ fn main() {
                 "gate file {} has no run {gate_label:?} with mix8_vs_core_geomean",
                 gp.display()
             )),
+        }
+        // Peak-RSS leg of the gate: unlike wall clock, memory footprint is
+        // stable across VM sessions, so raw bytes compare directly.
+        let rss_ref = std::fs::read_to_string(gp)
+            .ok()
+            .and_then(|text| Json::parse(&text))
+            .and_then(|j| j.get("runs")?.get(&gate_label)?.get("peak_rss_bytes")?.as_u64());
+        match (rss_ref, peak_rss_bytes()) {
+            (Some(want), Some(got)) => {
+                let ceiling = want as f64 * (1.0 + gate_pct / 100.0);
+                if got as f64 > ceiling {
+                    eprintln!(
+                        "error: peak-RSS regression gate failed: {got} bytes exceeds \
+                         {ceiling:.0} ({gate_pct}% over run {gate_label:?}'s {want} in {})",
+                        gp.display()
+                    );
+                    std::process::exit(1);
+                }
+                println!("rss gate: ok ({got} <= {ceiling:.0} bytes, ref {want} from {gate_label:?})");
+            }
+            (None, _) => eprintln!(
+                "rss gate: skipped (no peak_rss_bytes under run {gate_label:?} in {})",
+                gp.display()
+            ),
+            (_, None) => eprintln!("rss gate: skipped (VmHWM unavailable on this platform)"),
         }
     }
 

@@ -8,6 +8,7 @@ use bfetch_sim::PrefetcherKind;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kinds = [
         PrefetcherKind::Stride,

@@ -14,6 +14,7 @@ use bfetch_stats::Cdf;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let kernels = opts.selected_kernels();
     let per_kernel: Vec<DeltaCdfs> = executor::run_indexed(&kernels, opts.threads, |_, k| {
         let p = k.build(opts.scale);

@@ -8,6 +8,7 @@ use bfetch_stats::{geomean, mean, Table};
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kernels = opts.selected_kernels();
     let scales = [0.5, 1.0, 2.0, 4.0];

@@ -6,6 +6,7 @@ use bfetch_sim::PrefetcherKind;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let harness = Harness::from_opts(&opts);
     let kernels = opts.selected_kernels();
     let widths = [2usize, 4, 8];

@@ -79,6 +79,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let _prof = bfetch_bench::profiling::start(&opts);
     // 8-core CPI runs are heavy; default to the ext_mix8 window, or the CI
     // smoke budget under --quick, unless the user pinned one explicitly.
     let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");

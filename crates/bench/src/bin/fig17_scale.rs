@@ -51,6 +51,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let _prof = bfetch_bench::profiling::start(&opts);
     // A 64-core chip simulates 64 instruction windows per run; default to a
     // small per-core window, smaller still under --quick, unless pinned.
     let explicit_insts = std::env::args().any(|a| a == "--instructions" || a == "-n");

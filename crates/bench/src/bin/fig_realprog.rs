@@ -124,6 +124,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let _prof = bfetch_bench::profiling::start(&opts);
     // Real algorithms spend O(N log N)+ instructions over their O(N)
     // data, so the common 300k default would measure mostly their init
     // phases; the bigger default window reaches the load-dominated

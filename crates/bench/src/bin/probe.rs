@@ -7,6 +7,7 @@ use bfetch_workloads::kernel_by_name;
 
 fn main() {
     let mut opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     // the probe is a quick diagnostic: small defaults unless overridden
     if !std::env::args().any(|a| a == "--instructions" || a == "-n") {
         opts.instructions = 60_000;

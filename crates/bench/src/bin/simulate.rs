@@ -21,7 +21,7 @@ fn usage() -> ! {
          \x20               [--predictor tournament|perceptron] [--width N] [--instructions N | -n N]\n\
          \x20               [--warmup N] [--small] [--writebacks] [--forwarding] [--row-dram]\n\
          \x20               [--confidence T] [--threads N] [--json] [--no-cache] [--cache-dir P]\n\
-         \x20               [--cache-gc] [--cache-cap BYTES] [--list]"
+         \x20               [--cache-gc] [--cache-cap BYTES] [--profile DIR] [--list]"
     );
     std::process::exit(2)
 }
@@ -37,6 +37,7 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut cache_gc = false;
     let mut cache_cap = 512u64 * 1024 * 1024;
+    let mut profile_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -113,12 +114,14 @@ fn main() {
             "--cache-cap" => {
                 cache_cap = bfetch_bench::parse_bytes(&val()).unwrap_or_else(|| usage())
             }
+            "--profile" => profile_dir = Some(val().into()),
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 usage()
             }
         }
     }
+    let _prof = bfetch_bench::profiling::start_dir(profile_dir);
 
     let members: Vec<&'static Kernel> = names
         .iter()

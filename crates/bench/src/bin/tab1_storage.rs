@@ -10,6 +10,7 @@ use bfetch_stats::Table;
 
 fn main() {
     let opts = Opts::parse_or_exit();
+    let _prof = bfetch_bench::profiling::start(&opts);
     let report = BFetchConfig::baseline().storage_report();
     let sms = Sms::baseline();
     let stride = Stride::degree8();

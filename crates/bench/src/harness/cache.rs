@@ -165,6 +165,7 @@ pub struct ResultCache {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ResultCache {
@@ -176,6 +177,7 @@ impl ResultCache {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -199,6 +201,12 @@ impl ResultCache {
     /// Cache misses observed so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt entries quarantined (renamed to `.bad` and recomputed) so
+    /// far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Loads the results stored under `key`, verifying the schema version
@@ -237,6 +245,7 @@ impl ResultCache {
                 bad.push(".bad");
                 let _ = std::fs::rename(&path, &bad);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
                 Ok(None)
             }
         }
@@ -447,6 +456,7 @@ mod tests {
         assert!(!path.exists());
         let bad = cache.dir().join(format!("{}.bad", file_name("k")));
         assert!(bad.exists(), "torn entry must be quarantined");
+        assert_eq!(cache.quarantined(), 1);
         // … and the slot is free for a clean recompute
         cache.store("k", &[result("mcf", 7)]).unwrap();
         assert_eq!(cache.load("k").unwrap().unwrap()[0].cycles, 7);

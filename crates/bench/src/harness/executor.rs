@@ -47,14 +47,22 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let (next, slots, f) = (&next, &slots, &f);
+        for w in 0..workers {
+            scope.spawn(move || {
+                bfetch_prof::set_thread_name(&format!("harness{w}"));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 }
-                let out = f(i, &items[i]);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                // Scoped threads are joined when this closure returns —
+                // possibly before TLS destructors run — so the profiler's
+                // thread-local buffer must be flushed explicitly here.
+                bfetch_prof::flush_thread();
             });
         }
     });

@@ -241,6 +241,9 @@ pub struct PointOutcome {
     pub from_cache: bool,
     /// Wall-clock spent on this point (load or simulate), milliseconds.
     pub millis: f64,
+    /// Attempts made (> 1 only when transient cache-I/O errors were
+    /// retried on the way to this success).
+    pub attempts: u32,
 }
 
 /// Why a grid point failed.
@@ -341,6 +344,45 @@ pub struct SweepStats {
     pub wall_millis: f64,
     /// Worker threads used.
     pub threads: usize,
+    /// Result-cache load hits during this sweep (cache-level counter; can
+    /// exceed `cache_hits` when retried loads hit more than once).
+    pub cache_load_hits: u64,
+    /// Result-cache load misses during this sweep.
+    pub cache_load_misses: u64,
+    /// Corrupt cache entries quarantined (and recomputed) this sweep.
+    pub cache_recomputes: u64,
+    /// Extra attempts spent retrying transient cache-I/O failures.
+    pub cache_retries: u64,
+    /// Entries evicted by the `--cache-gc` sweep preceding this run.
+    pub gc_evicted: u64,
+}
+
+impl SweepStats {
+    /// Machine-readable rendering, emitted on **stderr** in `--json` mode
+    /// (`[harness] stats {...}`). Stats are run-dependent (cache state,
+    /// thread count, wall clock), so they must never reach stdout — the
+    /// stdout byte-identity contract covers only deterministic results.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("points".into(), Json::u64_of(self.points as u64)),
+            ("cache_hits".into(), Json::u64_of(self.cache_hits as u64)),
+            ("sims_run".into(), Json::u64_of(self.sims_run as u64)),
+            ("failed".into(), Json::u64_of(self.failed as u64)),
+            ("wall_millis".into(), Json::f64_of(self.wall_millis)),
+            ("threads".into(), Json::u64_of(self.threads as u64)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("load_hits".into(), Json::u64_of(self.cache_load_hits)),
+                    ("load_misses".into(), Json::u64_of(self.cache_load_misses)),
+                    ("recomputes".into(), Json::u64_of(self.cache_recomputes)),
+                    ("retries".into(), Json::u64_of(self.cache_retries)),
+                    ("gc_evicted".into(), Json::u64_of(self.gc_evicted)),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
 }
 
 /// Everything a sweep produced: per-point outcomes for the healthy points
@@ -470,6 +512,12 @@ pub struct Harness {
     threads: usize,
     cache: Option<ResultCache>,
     quiet: bool,
+    /// Also emit a machine-readable `[harness] stats {...}` line on stderr
+    /// after each sweep (set from `--json`; stats never go to stdout).
+    json_stats: bool,
+    /// Evictions recorded by the last [`Harness::run_cache_gc`] sweep,
+    /// surfaced in the next sweep's stats.
+    gc_evicted: std::sync::atomic::AtomicU64,
 }
 
 impl Harness {
@@ -479,6 +527,8 @@ impl Harness {
             threads: threads.max(1),
             cache: ResultCache::new(ResultCache::default_dir()).ok(),
             quiet: std::env::var_os("BFETCH_HARNESS_QUIET").is_some(),
+            json_stats: false,
+            gc_evicted: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -492,6 +542,7 @@ impl Harness {
         } else if let Some(dir) = &opts.cache_dir {
             h.cache = ResultCache::new(dir).ok();
         }
+        h.json_stats = opts.json;
         if opts.cache_gc {
             h.run_cache_gc(opts.cache_cap);
         }
@@ -505,7 +556,11 @@ impl Harness {
     pub fn run_cache_gc(&self, cap_bytes: u64) {
         match self.cache.as_ref() {
             Some(c) => match c.gc(cap_bytes) {
-                Ok(report) => eprintln!("[harness] {report}"),
+                Ok(report) => {
+                    self.gc_evicted
+                        .store(report.evicted, std::sync::atomic::Ordering::Relaxed);
+                    eprintln!("[harness] {report}");
+                }
                 Err(e) => crate::exit_err(format_args!("cache-gc failed: {e}")),
             },
             None => crate::exit_err("--cache-gc needs a cache (drop --no-cache)"),
@@ -542,6 +597,12 @@ impl Harness {
 
     fn run_named(&self, name: Option<&str>, spec: &SweepSpec) -> SweepOutcome {
         let t0 = Instant::now();
+        // Snapshot the cache's process-lifetime counters so the stats
+        // report per-sweep deltas.
+        let cache_before = self
+            .cache
+            .as_ref()
+            .map_or((0, 0, 0), |c| (c.hits(), c.misses(), c.quarantined()));
         let raw = executor::run_indexed(&spec.points, self.threads, |i, point| {
             self.run_point(i, point)
         });
@@ -554,6 +615,15 @@ impl Harness {
             }
         }
         let cache_hits = outcomes.iter().filter(|o| o.from_cache).count();
+        let cache_after = self
+            .cache
+            .as_ref()
+            .map_or((0, 0, 0), |c| (c.hits(), c.misses(), c.quarantined()));
+        let cache_retries = outcomes
+            .iter()
+            .map(|o| u64::from(o.attempts.saturating_sub(1)))
+            .chain(failures.iter().map(|f| u64::from(f.attempts.saturating_sub(1))))
+            .sum();
         let stats = SweepStats {
             points: spec.points.len(),
             cache_hits,
@@ -561,6 +631,11 @@ impl Harness {
             failed: failures.len(),
             wall_millis: t0.elapsed().as_secs_f64() * 1e3,
             threads: self.threads,
+            cache_load_hits: cache_after.0 - cache_before.0,
+            cache_load_misses: cache_after.1 - cache_before.1,
+            cache_recomputes: cache_after.2 - cache_before.2,
+            cache_retries,
+            gc_evicted: self.gc_evicted.load(std::sync::atomic::Ordering::Relaxed),
         };
         if !self.quiet {
             self.report(name, &outcomes, &failures, &stats);
@@ -577,6 +652,7 @@ impl Harness {
     /// the point immediately (deterministic — a retry would fail the
     /// same way).
     fn run_point(&self, index: usize, point: &GridPoint) -> Result<PointOutcome, PointError> {
+        let _point_span = bfetch_prof::span_labeled(bfetch_prof::HARNESS_POINT, &point.label);
         let pt0 = Instant::now();
         let key = point.cache_key();
         let mut attempts = 0;
@@ -589,6 +665,7 @@ impl Harness {
                         results,
                         from_cache,
                         millis: pt0.elapsed().as_secs_f64() * 1e3,
+                        attempts,
                     })
                 }
                 Err(kind) => {
@@ -611,7 +688,11 @@ impl Harness {
         point: &GridPoint,
         key: &str,
     ) -> Result<(Vec<RunResult>, bool), FailureKind> {
-        match self.cache.as_ref().map(|c| c.load(key)) {
+        let loaded = self.cache.as_ref().map(|c| {
+            let _load_span = bfetch_prof::span_traced(bfetch_prof::HARNESS_CACHE_LOAD);
+            c.load(key)
+        });
+        match loaded {
             Some(Err(e)) => return Err(FailureKind::CacheIo(e.to_string())),
             Some(Ok(Some(results))) => return Ok((results, true)),
             _ => {}
@@ -621,6 +702,7 @@ impl Harness {
             .map_err(FailureKind::Sim)?;
         if let Some(c) = &self.cache {
             // a failed store only costs a future re-simulation
+            let _store_span = bfetch_prof::span_traced(bfetch_prof::HARNESS_CACHE_STORE);
             let _ = c.store(key, &results);
         }
         Ok((results, false))
@@ -673,6 +755,19 @@ impl Harness {
                 ""
             },
         );
+        if self.cache.is_some() {
+            eprintln!(
+                "[{prefix}] cache: {} load hits, {} misses, {} recomputed, {} retries, {} GC-evicted",
+                stats.cache_load_hits,
+                stats.cache_load_misses,
+                stats.cache_recomputes,
+                stats.cache_retries,
+                stats.gc_evicted,
+            );
+        }
+        if self.json_stats {
+            eprintln!("[{prefix}] stats {}", stats.to_json());
+        }
     }
 }
 

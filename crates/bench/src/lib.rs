@@ -16,12 +16,14 @@
 
 pub mod harness;
 pub mod opts;
+pub mod profiling;
 
 pub use harness::{
     Experiment, FailureKind, GridPoint, Harness, MissingPoint, PointError, PointOutcome,
     SweepOutcome, SweepSpec, SweepStats,
 };
 pub use opts::{parse_bytes, usage, Opts, OptsError};
+pub use profiling::ProfileGuard;
 
 use bfetch_sim::{PrefetcherKind, RunResult, SimConfig, SimSession};
 use bfetch_stats::geomean;

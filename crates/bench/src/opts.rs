@@ -49,6 +49,11 @@ pub struct Opts {
     /// Write an interval timeline here (binaries with CPI accounting;
     /// `.csv` selects CSV, anything else JSONL — see DESIGN.md §10).
     pub timeline: Option<PathBuf>,
+    /// Enable host-side profiling and write the sidecar files (Chrome
+    /// trace + phase report) into this directory. Stdout is unaffected —
+    /// the byte-identity contract holds with or without profiling (see
+    /// DESIGN.md §14).
+    pub profile: Option<PathBuf>,
 }
 
 /// A malformed command line.
@@ -104,6 +109,7 @@ impl Default for Opts {
             programs: None,
             trace: None,
             timeline: None,
+            profile: None,
         }
     }
 }
@@ -146,6 +152,8 @@ pub fn usage() -> String {
          \x20 --cache-cap BYTES        byte cap for --cache-gc (default 512M; K/M/G ok)\n\
          \x20 --trace PATH             write a JSONL lifecycle trace (tracing binaries)\n\
          \x20 --timeline PATH          write an interval timeline, JSONL or .csv (CPI binaries)\n\
+         \x20 --profile DIR            profile the host process: Chrome trace + phase report\n\
+         \x20                          written into DIR (sidecar files; stdout unchanged)\n\
          \x20 --help, -h               this message\n\
          kernels: {}\n\
          programs: {}",
@@ -226,6 +234,7 @@ impl Opts {
                 }
                 "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
                 "--timeline" => o.timeline = Some(PathBuf::from(value("--timeline")?)),
+                "--profile" => o.profile = Some(PathBuf::from(value("--profile")?)),
                 "--help" | "-h" => return Err(OptsError::HelpRequested),
                 other => return Err(OptsError::UnknownFlag(other.to_string())),
             }
@@ -305,6 +314,7 @@ mod tests {
         assert!(o.programs.is_none());
         assert!(o.trace.is_none());
         assert!(o.timeline.is_none());
+        assert!(o.profile.is_none());
     }
 
     #[test]
@@ -329,6 +339,8 @@ mod tests {
             "/tmp/t.jsonl",
             "--timeline",
             "/tmp/tl.csv",
+            "--profile",
+            "/tmp/prof",
         ])
         .unwrap();
         assert_eq!(o.instructions, 5000);
@@ -341,6 +353,7 @@ mod tests {
         assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
         assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("/tmp/t.jsonl")));
         assert_eq!(o.timeline.as_deref(), Some(std::path::Path::new("/tmp/tl.csv")));
+        assert_eq!(o.profile.as_deref(), Some(std::path::Path::new("/tmp/prof")));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `--profile` wiring shared by every experiment binary.
+//!
+//! [`start`] turns the flag into an RAII [`ProfileGuard`]: profiling is
+//! enabled for the process lifetime and, when the guard drops (normal exit
+//! path of `main`), the captured session is written as sidecar files into
+//! the requested directory:
+//!
+//! * `trace.json` — Chrome trace-event JSON (`chrome://tracing`, Perfetto)
+//! * `report.json` — machine-readable per-phase/per-thread/per-core stats
+//! * `report.txt` — the same report rendered as a human-readable table
+//!
+//! Everything goes to the sidecar directory or stderr; stdout is never
+//! touched, so profiled runs stay byte-identical to unprofiled ones (the
+//! stdout contract, pinned by `tests/stdout_contract.rs`).
+
+use crate::opts::Opts;
+use std::path::PathBuf;
+
+/// Active profiling session; writes the sidecar files on drop.
+pub struct ProfileGuard {
+    dir: Option<PathBuf>,
+}
+
+/// Starts profiling if `--profile DIR` was given. Call once at the top of
+/// `main` and keep the guard alive until the end; a disabled guard (no
+/// flag) is inert. If the `prof` feature was compiled out, warns on
+/// stderr and captures nothing.
+pub fn start(opts: &Opts) -> ProfileGuard {
+    start_dir(opts.profile.clone())
+}
+
+/// [`start`] for binaries with bespoke flag parsing (e.g. `simulate`):
+/// pass the `--profile` value directly.
+pub fn start_dir(dir: Option<PathBuf>) -> ProfileGuard {
+    let Some(dir) = dir else {
+        return ProfileGuard { dir: None };
+    };
+    if !bfetch_prof::capture_compiled() {
+        eprintln!(
+            "[profile] warning: built without the `prof` feature; no data will be captured \
+             (rebuild bfetch-bench with default features)"
+        );
+    }
+    bfetch_prof::enable();
+    ProfileGuard { dir: Some(dir) }
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        let Some(dir) = self.dir.take() else { return };
+        let Some(profile) = bfetch_prof::drain() else {
+            // Feature compiled out (warned at start) or nothing recorded.
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[profile] cannot create {}: {e}", dir.display());
+            return;
+        }
+        let trace_path = dir.join("trace.json");
+        let report = profile.report();
+        let mut failed = false;
+        for (path, contents) in [
+            (&trace_path, profile.chrome_trace()),
+            (&dir.join("report.json"), report.to_json()),
+            (&dir.join("report.txt"), report.to_string()),
+        ] {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("[profile] cannot write {}: {e}", path.display());
+                failed = true;
+            }
+        }
+        if !failed {
+            eprintln!(
+                "[profile] wrote {} (load trace.json in chrome://tracing or ui.perfetto.dev)",
+                dir.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flag_is_inert() {
+        let opts = Opts::default();
+        let g = start(&opts);
+        assert!(!bfetch_prof::enabled() || cfg!(not(feature = "prof")));
+        drop(g);
+    }
+}

@@ -1,0 +1,119 @@
+//! The stdout byte-identity contract, pinned end-to-end: a figure
+//! binary's stdout must be one byte stream regardless of host threading
+//! (`--threads`), simulation threading (`--sim-threads`), cache state, or
+//! profiling (`--profile`), and must never echo any of those knobs.
+//! Run-dependent observability (timings, cache stats, profiler notes)
+//! belongs on stderr or in sidecar files.
+//!
+//! `fig08_single` stands in for the figure binaries here (they all share
+//! `Opts` + `Harness`). The *timing* binaries — ext_simspeed and
+//! ext_profile — are deliberately exempt: wall clock and thread sweeps are
+//! their subject matter, so their stdout is inherently run-dependent.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Shared args: tiny budget, no cache unless a variant opts in.
+const BASE: &[&str] = &["-n", "2000", "--warmup", "500", "--small"];
+
+fn unique_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bfetch-stdout-contract-{tag}-{}", std::process::id()))
+}
+
+/// Runs fig08_single with `extra` appended to the base args, returning
+/// stdout. Panics (with stderr attached) if the binary fails.
+fn fig08_stdout(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig08_single"))
+        .args(BASE)
+        .args(extra)
+        .output()
+        .expect("spawn fig08_single");
+    assert!(
+        out.status.success(),
+        "fig08_single {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn stdout_is_byte_identical_across_threading_profiling_and_cache_state() {
+    let profile_dir = unique_dir("profile");
+    let cache_dir = unique_dir("cache");
+    let _ = std::fs::remove_dir_all(&profile_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let baseline = fig08_stdout(&["--no-cache", "-j", "1"]);
+    assert!(!baseline.is_empty(), "fig08_single printed nothing");
+
+    let variants: Vec<(&str, Vec<String>)> = vec![
+        ("host threads", vec!["--no-cache".into(), "-j".into(), "2".into()]),
+        (
+            "sim threads",
+            vec!["--no-cache".into(), "-j".into(), "1".into(), "--sim-threads".into(), "2".into()],
+        ),
+        (
+            "profiled",
+            vec![
+                "--no-cache".into(),
+                "-j".into(),
+                "1".into(),
+                "--profile".into(),
+                profile_dir.display().to_string(),
+            ],
+        ),
+        (
+            "cold cache",
+            vec!["--cache-dir".into(), cache_dir.display().to_string(), "-j".into(), "1".into()],
+        ),
+        (
+            "warm cache",
+            vec!["--cache-dir".into(), cache_dir.display().to_string(), "-j".into(), "2".into()],
+        ),
+    ];
+    for (what, args) in &variants {
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let got = fig08_stdout(&argv);
+        assert_eq!(
+            got, baseline,
+            "stdout diverged from the -j 1 baseline under the {what} variant"
+        );
+    }
+
+    // The profiled run must have written its sidecars *next to* stdout,
+    // never into it.
+    for file in ["trace.json", "report.json", "report.txt"] {
+        assert!(
+            profile_dir.join(file).is_file(),
+            "--profile did not write {file}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&profile_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn stdout_never_echoes_threading_or_profiling_knobs() {
+    let dir = unique_dir("echo");
+    let _ = std::fs::remove_dir_all(&dir);
+    let stdout = fig08_stdout(&[
+        "--no-cache",
+        "-j",
+        "2",
+        "--sim-threads",
+        "2",
+        "--profile",
+        &dir.display().to_string(),
+    ]);
+    // "threads" (plural) catches any echo of a thread *count* while
+    // allowing prose like "single-threaded" in figure titles.
+    let lowered = stdout.to_lowercase();
+    for forbidden in ["--sim-threads", "--profile", "threads", "profile"] {
+        assert!(
+            !lowered.contains(forbidden),
+            "stdout echoes {forbidden:?} (run-dependent knobs belong on stderr):\n{stdout}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

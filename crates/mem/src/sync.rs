@@ -188,7 +188,9 @@ impl TurnGate<'_> {
         } else {
             // Slow path: register as a waiter *before* re-checking the turn
             // (see the module docs for the lost-wakeup argument), sleep
-            // until the turn arrives, deregister.
+            // until the turn arrives, deregister. The profiler only times
+            // this out-of-turn block; the fast path stays untouched.
+            let wait_start = bfetch_prof::gate_stamp();
             let mut g = t.lock();
             t.waiters.fetch_add(1, SeqCst);
             while t.turn.load(SeqCst) != self.core && !t.poisoned.load(SeqCst) {
@@ -198,6 +200,7 @@ impl TurnGate<'_> {
                     .unwrap_or_else(|e| e.into_inner());
             }
             t.waiters.fetch_sub(1, SeqCst);
+            bfetch_prof::gate_wait(self.core, wait_start);
             g
         };
         if t.poisoned.load(SeqCst) {

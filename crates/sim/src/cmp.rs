@@ -375,20 +375,29 @@ pub(crate) fn run_impl(
         // always scheduled strictly in the future, so the install point is
         // cycle-aligned — the anchor the parallel engine's coordinator
         // replicates; see DESIGN.md §12).
-        drain_chip(&mut mems, &mut shared, now, &mut guard);
+        {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_DRAIN);
+            drain_chip(&mut mems, &mut shared, now, &mut guard);
+        }
         // Feedback and guard notes are fused into the stepping pass: a
         // core's feedback queue is only fed by the cycle-start drain above
         // and by its own step, and the guard is only read by the *next*
         // cycle's drain, so draining right after each core steps delivers
         // the identical events in the identical order while touching each
         // core's state once per cycle instead of twice.
+        // One sim.step span covers the whole per-cycle core pass: the
+        // sequential engine has no stragglers to attribute, and a single
+        // span per cycle (instead of one per core) keeps the profiler's
+        // unaccounted inter-span gap under the coverage gate.
         if !fault_on {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_STEP);
             for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
                 c.cycle(now, &mut SeqMem { mem: m, shared: &mut shared });
                 m.drain_feedback(|fb| c.feedback(fb.pc_hash, fb.useful));
                 guard.note(m.take_sched_min());
             }
         } else if !frozen {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_STEP);
             for (c, m) in cores.iter_mut().zip(mems.iter_mut()) {
                 c.cycle(now, &mut SeqMem { mem: m, shared: &mut shared });
                 m.drain_feedback(|fb| c.feedback(fb.pc_hash, fb.useful));
@@ -396,6 +405,7 @@ pub(crate) fn run_impl(
             }
             check_faults(cfg, &cores, &mut frozen);
         }
+        let _bookkeep = bfetch_prof::span(bfetch_prof::SIM_BOOKKEEP);
         now += 1;
 
         match &snaps {

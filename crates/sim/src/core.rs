@@ -392,16 +392,25 @@ impl Core {
             self.issue_ports.release_before(now, 1024);
             self.mem_ports.release_before(now, 1024);
         }
-        self.process_pending_mem(now, mem);
+        {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_PENDING_MEM);
+            self.process_pending_mem(now, mem);
+        }
         self.check_fetch_block(now);
         // accounting classifies against pre-fetch state: the ROB snapshot
         // right after commit still shows *why* commit fell short
         let rob_was_full = self.cpi.is_some() && self.rob.len() >= self.params.rob_entries;
-        let committed = self.commit(now);
-        if self.cpi.is_some() {
-            self.account_cycle(now, committed, rob_was_full, mem);
+        {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_COMMIT);
+            let committed = self.commit(now);
+            if self.cpi.is_some() {
+                self.account_cycle(now, committed, rob_was_full, mem);
+            }
         }
-        self.fetch(now, mem);
+        {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_FETCH);
+            self.fetch(now, mem);
+        }
         self.prefetch_tick(now, mem);
     }
 
@@ -931,7 +940,11 @@ impl Core {
     fn prefetch_tick<M: MemoryInterface>(&mut self, now: u64, mem: &mut M) {
         let per_cycle = self.params.prefetch_issue_per_cycle;
         if let Some(engine) = self.engine.as_mut() {
-            engine.tick(now, self.bp.as_ref(), &self.conf);
+            {
+                let _p = bfetch_prof::span(bfetch_prof::SIM_ENGINE);
+                engine.tick(now, self.bp.as_ref(), &self.conf);
+            }
+            let _p = bfetch_prof::span(bfetch_prof::SIM_ISSUE);
             for c in engine.pop_prefetches(per_cycle) {
                 mem.prefetch(self.id, c.addr, c.pc_hash, now);
             }
@@ -939,6 +952,7 @@ impl Core {
                 mem.prefetch_inst(self.id, addr, now);
             }
         } else if self.demand_pf.is_some() {
+            let _p = bfetch_prof::span(bfetch_prof::SIM_ISSUE);
             for _ in 0..per_cycle {
                 let Some(r) = self.pf_queue.pop_front() else {
                     break;

@@ -196,15 +196,22 @@ struct Ctx<'a> {
 }
 
 fn worker_loop(ctx: &Ctx<'_>, w: usize, workers: usize, panic_at_insts: u64) {
+    bfetch_prof::set_thread_name(&format!("worker{w}"));
     let n = ctx.cells.0.len();
     loop {
-        ctx.start.wait();
+        {
+            let _p = bfetch_prof::span(bfetch_prof::PAR_BARRIER_START);
+            ctx.start.wait();
+        }
         if ctx.stop.load(Ordering::SeqCst) {
             break;
         }
         let now = ctx.now.load(Ordering::SeqCst);
         if !ctx.frozen.load(Ordering::SeqCst) {
             for i in (w..n).step_by(workers) {
+                // Times the whole step attempt, turn-gate waits included
+                // (the gate records its own share under par.gate_wait).
+                let step_span = bfetch_prof::core_span(i);
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
                     // SAFETY: cores are partitioned by `i % workers == w`,
                     // so this worker is slot i's only accessor during the
@@ -231,6 +238,7 @@ fn worker_loop(ctx: &Ctx<'_>, w: usize, workers: usize, panic_at_insts: u64) {
                         );
                     }
                 }));
+                drop(step_span);
                 match stepped {
                     Ok(()) => ctx.turn.finish_core(i),
                     Err(p) => {
@@ -240,8 +248,12 @@ fn worker_loop(ctx: &Ctx<'_>, w: usize, workers: usize, panic_at_insts: u64) {
                 }
             }
         }
+        let _p = bfetch_prof::span(bfetch_prof::PAR_BARRIER_END);
         ctx.end.wait();
     }
+    // scope() joins when this closure returns, possibly before TLS
+    // destructors run, so the buffer must be flushed explicitly here.
+    bfetch_prof::flush_thread();
 }
 
 fn snapshot_cells(cells: &PhaseCells, now: u64) -> DiagSnapshot {
@@ -330,13 +342,23 @@ pub(crate) fn try_run_multi_parallel(
             loop {
                 // ---- coordinator phase ----
                 turn.begin_cycle();
-                turn.with_shared(|sh| {
-                    drain_chip(&mut CellCores { cells: &cells }, sh, now, &mut guard)
-                });
+                {
+                    let _p = bfetch_prof::span(bfetch_prof::SIM_DRAIN);
+                    turn.with_shared(|sh| {
+                        drain_chip(&mut CellCores { cells: &cells }, sh, now, &mut guard)
+                    });
+                }
                 now_cell.store(now, Ordering::SeqCst);
-                start.wait();
-                // ---- step phase: workers run cycle `now` ----
-                end.wait();
+                {
+                    // Coordinator's view of the whole step phase: release
+                    // barrier to join barrier. Worker-side splits live in
+                    // par.barrier_* and the per-core step spans.
+                    let _p = bfetch_prof::span(bfetch_prof::PAR_STEP_PHASE);
+                    start.wait();
+                    // ---- step phase: workers run cycle `now` ----
+                    end.wait();
+                }
+                let _bookkeep = bfetch_prof::span(bfetch_prof::SIM_BOOKKEEP);
                 if let Some((core, message)) = turn.take_panic() {
                     return Err(SimError::CorePanic {
                         core,

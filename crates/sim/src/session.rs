@@ -168,6 +168,7 @@ impl SimSession {
             "set SimSession::instructions before running"
         );
         let n = programs.len();
+        let _run_span = bfetch_prof::span_traced(bfetch_prof::SIM_RUN);
         let (results, sink, timeline) = crate::cmp::run_impl(programs, &self.cfg, self.insts)?;
         let trace = sink.map(|s| {
             let (events, mut lifecycle) = s.into_parts();

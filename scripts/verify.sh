@@ -56,6 +56,26 @@ cmp "$CACHE/serial.txt" "$CACHE/parallel.txt"
 cmp "$CACHE/serial.txt" "$CACHE/cached.txt"
 grep -q " 0 simulated" "$CACHE/cached.err"
 
+echo "==> profiler: compile-out state + profiled run byte-identity + trace well-formedness"
+# The prof crate's own suite runs with capture compiled *out* (its
+# default feature set), and the bench stack must still build that way.
+cargo test -q -p bfetch-prof
+cargo check -q -p bfetch-bench --lib --no-default-features
+# A profiled sweep must leave stdout byte-identical and produce a
+# loadable Chrome trace plus the aggregate reports as sidecar files.
+$BIN $ARGS --threads 1 --profile "$CACHE/prof" >"$CACHE/profiled.txt" 2>/dev/null
+cmp "$CACHE/serial.txt" "$CACHE/profiled.txt"
+test -s "$CACHE/prof/report.json"
+test -s "$CACHE/prof/report.txt"
+target/release/ext_profile --check-trace "$CACHE/prof/trace.json"
+
+echo "==> measured phase breakdown: coverage gate (ext_profile --quick)"
+# The instrumented coordinator-side phases must tile sim.run: falling
+# coverage means a new engine phase went uninstrumented. 90% leaves
+# noise headroom over the ~97% both engines measure.
+target/release/ext_profile --quick --min-coverage 90 \
+  --out target/PROF_phase_report.json >/dev/null
+
 echo "==> parallel engine: cross-thread-count determinism + worker-panic typing"
 cargo test -q -p bfetch-sim --test determinism
 
